@@ -1,0 +1,57 @@
+// Command pcbench regenerates the tables and figures of "Power Containers"
+// (ASPLOS 2013) on the simulated testbed.
+//
+// Usage:
+//
+//	pcbench -list
+//	pcbench [-seed N] <id>...      # fig1..fig14, table1, coeffs, overhead
+//	pcbench [-seed N] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powercontainers"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Uint64("seed", 1, "simulation seed (identical seeds reproduce identical results)")
+	flag.Parse()
+
+	if *list {
+		for _, e := range powercontainers.ListExperiments() {
+			alias := ""
+			if len(e.Aliases) > 0 {
+				alias = fmt.Sprintf(" (includes %v)", e.Aliases)
+			}
+			fmt.Printf("%-9s %s%s\n", e.ID, e.Title, alias)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pcbench [-seed N] <id>... | all | -list")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range powercontainers.ListExperiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := powercontainers.RunExperiment(id, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

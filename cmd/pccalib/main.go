@@ -1,0 +1,35 @@
+// Command pccalib runs the offline power model calibration of §4.1 for one
+// or all machine models and prints the coefficient tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/experiments"
+)
+
+func main() {
+	machine := flag.String("machine", "", "machine model (SandyBridge, Westmere, Woodcrest); empty = all")
+	flag.Parse()
+
+	specs := cpu.Specs()
+	if *machine != "" {
+		s, err := cpu.SpecByName(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccalib:", err)
+			os.Exit(2)
+		}
+		specs = []cpu.MachineSpec{s}
+	}
+	for _, spec := range specs {
+		r, err := experiments.Coefficients(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pccalib:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+	}
+}

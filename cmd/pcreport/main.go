@@ -1,0 +1,112 @@
+// Command pcreport runs a named workload under the power-container
+// facility and exports per-request accounting as CSV or JSON — the raw
+// material for billing, anomaly detection and capacity analysis.
+//
+// Usage:
+//
+//	pcreport -workload GAE-Hybrid -machine SandyBridge -load half \
+//	         -duration 10s -format csv > requests.csv
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/experiments"
+	"powercontainers/internal/export"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+func main() {
+	machine := flag.String("machine", "SandyBridge", "machine model")
+	wl := flag.String("workload", "GAE-Hybrid", "workload name")
+	loadFlag := flag.String("load", "half", "load level: peak or half")
+	duration := flag.Duration("duration", 10*time.Second, "virtual run duration")
+	format := flag.String("format", "csv", "output format: csv or json")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	byClient := flag.Bool("by-client", false, "aggregate usage per client principal instead of per request")
+	clients := flag.Int("clients", 40, "size of the simulated client pool")
+	flag.Parse()
+
+	if err := run(*machine, *wl, *loadFlag, *duration, *format, *seed, *byClient, *clients); err != nil {
+		fmt.Fprintln(os.Stderr, "pcreport:", err)
+		os.Exit(1)
+	}
+}
+
+func workloadByName(name string) (workload.Workload, error) {
+	switch name {
+	case "RSA-crypto":
+		return workload.RSA{}, nil
+	case "Solr":
+		return workload.Solr{}, nil
+	case "WeBWorK":
+		return workload.WeBWorK{}, nil
+	case "Stress":
+		return workload.Stress{}, nil
+	case "GAE-Vosao":
+		return workload.GAE{}, nil
+	case "GAE-Hybrid":
+		return workload.GAE{VirusLoadFraction: 0.5}, nil
+	case "EventServer":
+		return workload.EventServer{}, nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func run(machine, wl, loadFlag string, duration time.Duration, format string, seed uint64, byClient bool, clients int) error {
+	spec, err := cpu.SpecByName(machine)
+	if err != nil {
+		return err
+	}
+	w, err := workloadByName(wl)
+	if err != nil {
+		return err
+	}
+	m, err := experiments.NewMachine(spec, core.ApproachRecalibrated, seed)
+	if err != nil {
+		return err
+	}
+	dep := w.Deploy(m.K, m.Rng.Fork(11))
+	gen := server.NewLoadGen(m.K, m.Fac, dep)
+	gen.Clients = server.NewClientPool(clients, 0.9, m.Rng.Fork(15))
+	until := sim.Time(duration)
+	switch loadFlag {
+	case "peak":
+		gen.RunClosedLoop(experiments.PeakClients(spec), until)
+	case "half":
+		gen.RunOpenLoop(0.5*experiments.PeakRate(spec, dep), until, m.Rng.Fork(13))
+	default:
+		return fmt.Errorf("unknown load %q (peak|half)", loadFlag)
+	}
+	m.Eng.RunUntil(until)
+
+	records := export.Collect(gen.Completed())
+	if byClient {
+		usage := export.AggregateByClient(records)
+		if format == "json" {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(usage)
+		}
+		fmt.Println("client,requests,energy_j,cpu_time_ms")
+		for _, u := range usage {
+			fmt.Printf("%s,%d,%.6f,%.3f\n", u.Client, u.Requests, u.EnergyJ, u.CPUTimeMs)
+		}
+		return nil
+	}
+	switch format {
+	case "csv":
+		return export.WriteCSV(os.Stdout, records)
+	case "json":
+		return export.WriteJSON(os.Stdout, records)
+	}
+	return fmt.Errorf("unknown format %q (csv|json)", format)
+}

@@ -1,0 +1,52 @@
+package powercontainers_test
+
+import (
+	"fmt"
+	"time"
+
+	"powercontainers"
+)
+
+// ExampleNewSystem builds an instrumented machine, runs a workload and
+// reads per-request accounting — the facility's core loop.
+func ExampleNewSystem() {
+	sys, err := powercontainers.NewSystem("SandyBridge",
+		powercontainers.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	run, err := sys.NewRun("RSA-crypto", powercontainers.HalfLoad)
+	if err != nil {
+		panic(err)
+	}
+	report, err := run.Execute(4 * time.Second)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sys.MachineName(), sys.Cores(), "cores")
+	fmt.Println("accounting works:", report.AccountedWatts > 0 && len(report.Requests) > 0)
+	// Output:
+	// SandyBridge 4 cores
+	// accounting works: true
+}
+
+// ExampleRun_SetRequestPowerTarget shows a request-level control policy:
+// power viruses get a 12 W budget while everything else runs untouched.
+func ExampleRun_SetRequestPowerTarget() {
+	sys, _ := powercontainers.NewSystem("SandyBridge", powercontainers.WithSeed(2))
+	run, _ := sys.NewRun("GAE-Hybrid", powercontainers.HalfLoad)
+	run.SetRequestPowerTarget("gae/virus", 12)
+	report, err := run.Execute(5 * time.Second)
+	if err != nil {
+		panic(err)
+	}
+	throttled := 0
+	for _, q := range report.Requests {
+		if q.Type == "gae/virus" && q.DutyRatio < 0.999 {
+			throttled++
+		}
+	}
+	fmt.Println("viruses throttled:", throttled > 0)
+	// Output:
+	// viruses throttled: true
+}

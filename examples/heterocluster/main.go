@@ -1,0 +1,25 @@
+// Heterogeneity-aware request distribution: the paper's §4.4 case study.
+// A two-machine cluster (a new SandyBridge next to an old Woodcrest) serves
+// a combined GAE-Vosao + RSA-crypto workload. Power containers profile each
+// request type's energy on both machines; the workload-aware dispatcher
+// then keeps the requests with the strongest affinity to the efficient
+// machine (RSA) there and overflows the rest (GAE), cutting cluster energy
+// versus both a simple balancer and a machine-aware-only policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"powercontainers"
+)
+
+func main() {
+	fmt.Println("running the two-machine cluster experiment (fig14 + table1)...")
+	fmt.Println("machines:", powercontainers.Machines())
+	out, err := powercontainers.RunExperiment("fig14", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,80 @@
+// Power-virus isolation: the paper's §4.3 scenario. A Google App Engine
+// server runs at peak load; halfway through, sporadic power-virus requests
+// (simple cache/pipeline-saturating apps anyone could deploy) start
+// arriving. With a power cap installed, the facility detects the
+// per-request power excess and throttles only the viruses with per-core
+// duty-cycle modulation — normal requests keep running at full speed,
+// unlike indiscriminate full-machine throttling.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powercontainers"
+)
+
+func main() {
+	for _, capped := range []bool{false, true} {
+		opts := []powercontainers.Option{
+			powercontainers.WithAttribution(powercontainers.WithRecalibration),
+			powercontainers.WithSeed(7),
+		}
+		label := "original system"
+		if capped {
+			opts = append(opts, powercontainers.WithPowerCap(56))
+			label = "power containers, 56 W active cap"
+		}
+		sys, err := powercontainers.NewSystem("SandyBridge", opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := sys.NewRun("GAE-Vosao", powercontainers.PeakLoad)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run.EnableAnomalyDetection()
+		if err := run.InjectPowerViruses(1.0, 5*time.Second); err != nil {
+			log.Fatal(err)
+		}
+		report, err := run.Execute(15 * time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		var nNormal, nVirus int
+		var dutyNormal, dutyVirus float64
+		for _, q := range report.Requests {
+			if q.Type == "gae/virus" {
+				nVirus++
+				dutyVirus += q.DutyRatio
+			} else {
+				nNormal++
+				dutyNormal += q.DutyRatio
+			}
+		}
+		fmt.Printf("== %s ==\n", label)
+		fmt.Printf("measured active power: %.1f W\n", report.MeasuredActiveWatts)
+		slow := func(duty float64, n int) float64 {
+			s := 100 * (1 - duty/float64(n))
+			if s < 0 {
+				s = 0
+			}
+			return s
+		}
+		if nNormal > 0 {
+			fmt.Printf("normal requests: %4d, mean duty ratio %.2f (slowdown %.1f%%)\n",
+				nNormal, dutyNormal/float64(nNormal), slow(dutyNormal, nNormal))
+		}
+		if nVirus > 0 {
+			fmt.Printf("power viruses:   %4d, mean duty ratio %.2f (slowdown %.1f%%)\n",
+				nVirus, dutyVirus/float64(nVirus), slow(dutyVirus, nVirus))
+		}
+		for _, a := range report.Anomalies {
+			fmt.Printf("anomaly pinpointed: %-10s at %7v drawing %.1f W (population %.1f W)\n",
+				a.RequestType, a.At.Round(time.Millisecond), a.PowerWatts, a.BaselineWatts)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build an instrumented SandyBridge machine, run the GAE-Hybrid
+// cloud workload (Vosao CMS requests mixed with power viruses) at half
+// load, and print per-request power/energy accounting — the facility's core
+// capability: isolating the power contribution of each request running
+// concurrently on a shared multicore.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"powercontainers"
+)
+
+func main() {
+	sys, err := powercontainers.NewSystem("SandyBridge",
+		powercontainers.WithAttribution(powercontainers.WithRecalibration),
+		powercontainers.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("machine: %s (%d cores)\n\n", sys.MachineName(), sys.Cores())
+
+	run, err := sys.NewRun("GAE-Hybrid", powercontainers.HalfLoad)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := run.Execute(10 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.Summary())
+	fmt.Println()
+
+	// The facility pinpoints the power hogs: list the five most
+	// power-hungry requests of the window.
+	top := report.Requests
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j].MeanActiveWatts > top[i].MeanActiveWatts {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+	}
+	fmt.Println("highest-power requests:")
+	for i := 0; i < 5 && i < len(top); i++ {
+		q := top[i]
+		fmt.Printf("  %-12s %5.1f W over %8v busy -> %5.2f J\n",
+			q.Type, q.MeanActiveWatts, q.CPUTime.Round(time.Millisecond), q.EnergyJoules)
+	}
+
+	fmt.Printf("\naccounting check: accounted %.1f W vs measured %.1f W active (error %.1f%%)\n",
+		report.AccountedWatts, report.MeasuredActiveWatts, 100*report.ValidationError())
+}

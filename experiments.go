@@ -1,0 +1,39 @@
+package powercontainers
+
+import (
+	"fmt"
+
+	"powercontainers/internal/experiments"
+)
+
+// ExperimentInfo describes one reproducible table or figure of the paper's
+// evaluation.
+type ExperimentInfo struct {
+	ID      string
+	Title   string
+	Aliases []string
+}
+
+// ListExperiments enumerates the paper's tables and figures in order.
+func ListExperiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		out = append(out, ExperimentInfo{ID: e.ID, Title: e.Title, Aliases: e.Aliases})
+	}
+	return out
+}
+
+// RunExperiment reproduces one of the paper's tables or figures by id
+// (fig1..fig14, table1, coeffs, overhead) and returns its textual
+// rendering. Identical seeds reproduce identical results.
+func RunExperiment(id string, seed uint64) (string, error) {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return "", err
+	}
+	r, err := e.Run(seed)
+	if err != nil {
+		return "", fmt.Errorf("experiment %s: %w", e.ID, err)
+	}
+	return r.Render(), nil
+}

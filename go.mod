@@ -1,0 +1,3 @@
+module powercontainers
+
+go 1.22

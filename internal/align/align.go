@@ -1,0 +1,155 @@
+// Package align implements §3.2: aligning delayed power-meter readings with
+// real-time model estimates via signal-processing cross-correlation (Eq. 4),
+// and using the aligned pairs to recalibrate the power model online.
+//
+// Meter samples carry only an arrival timestamp for online purposes; the
+// true measurement window is arrival − delay − interval, with the delay
+// unknown until estimated here.
+package align
+
+import (
+	"fmt"
+	"math"
+
+	"powercontainers/internal/model"
+	"powercontainers/internal/power"
+	"powercontainers/internal/sim"
+)
+
+// LagPoint is one point of the cross-correlation curve over hypothetical
+// measurement delays (the curves of Figure 2).
+type LagPoint struct {
+	Delay sim.Time
+	// Raw is the paper's Eq. 4 inner product.
+	Raw float64
+	// Normalized is the mean-subtracted, variance-normalized correlation
+	// used for robust peak picking.
+	Normalized float64
+}
+
+// modelWindowMean averages the modeled active power series (1-bucket
+// resolution `interval`) over [t0, t1). Returns ok=false when the window
+// falls outside the series.
+func modelWindowMean(modelPower []float64, interval, t0, t1 sim.Time) (float64, bool) {
+	if t1 <= t0 || t0 < 0 {
+		return 0, false
+	}
+	lo := int(t0 / interval)
+	hi := int((t1 + interval - 1) / interval)
+	if hi > len(modelPower) {
+		return 0, false
+	}
+	var sum float64
+	n := 0
+	for b := lo; b < hi; b++ {
+		sum += modelPower[b]
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// CorrelationCurve evaluates measurement/model cross-correlation at every
+// hypothetical delay in [minDelay, maxDelay] stepped by step (negative
+// delays hypothesize measurements arriving before the activity they
+// describe, as in Figure 2's x-axis). measured samples keep their raw
+// readings; idleW is subtracted here. modelPower is the modeled active
+// power per interval-wide bucket.
+func CorrelationCurve(measured []power.Sample, idleW float64, meterInterval sim.Time,
+	modelPower []float64, modelInterval sim.Time, step, minDelay, maxDelay sim.Time) []LagPoint {
+
+	if step <= 0 {
+		step = modelInterval
+	}
+	var curve []LagPoint
+	for d := minDelay; d <= maxDelay; d += step {
+		var raw, sx, sy, sxy, sxx, syy float64
+		n := 0
+		for _, s := range measured {
+			end := s.Arrival - d
+			start := end - meterInterval
+			mp, ok := modelWindowMean(modelPower, modelInterval, start, end)
+			if !ok {
+				continue
+			}
+			x := s.Watts - idleW
+			raw += x * mp
+			sx += x
+			sy += mp
+			sxy += x * mp
+			sxx += x * x
+			syy += mp * mp
+			n++
+		}
+		norm := 0.0
+		if n >= 2 {
+			cov := sxy - sx*sy/float64(n)
+			vx := sxx - sx*sx/float64(n)
+			vy := syy - sy*sy/float64(n)
+			if vx > 0 && vy > 0 {
+				norm = cov / math.Sqrt(vx*vy)
+			}
+		}
+		curve = append(curve, LagPoint{Delay: d, Raw: raw, Normalized: norm})
+	}
+	return curve
+}
+
+// EstimateDelay returns the hypothetical delay with the highest normalized
+// cross-correlation — the paper's estimate of the meter's delivery lag.
+func EstimateDelay(curve []LagPoint) (sim.Time, error) {
+	if len(curve) == 0 {
+		return 0, fmt.Errorf("align: empty correlation curve")
+	}
+	best := curve[0]
+	for _, p := range curve[1:] {
+		if p.Normalized > best.Normalized {
+			best = p
+		}
+	}
+	if best.Normalized <= 0 {
+		return 0, fmt.Errorf("align: no positive correlation peak (max %.3f)", best.Normalized)
+	}
+	return best.Delay, nil
+}
+
+// AlignedPair is a measurement matched to the system metrics over its
+// estimated true window.
+type AlignedPair struct {
+	WindowStart sim.Time
+	WindowEnd   sim.Time
+	ActiveW     float64
+	M           model.Metrics
+}
+
+// AlignSamples converts delivered meter samples into aligned
+// (metrics, active power) pairs using the estimated delay. Samples whose
+// reconstructed window is not fully covered by the metric series are
+// skipped.
+func AlignSamples(measured []power.Sample, idleW float64, meterInterval sim.Time,
+	ms *model.MetricSeries, delay sim.Time) []AlignedPair {
+
+	var out []AlignedPair
+	horizon := sim.Time(ms.Len()) * ms.Interval()
+	for _, s := range measured {
+		end := s.Arrival - delay
+		start := end - meterInterval
+		if start < 0 || end > horizon {
+			continue
+		}
+		lo := int(start / ms.Interval())
+		hi := int(end / ms.Interval())
+		if hi <= lo {
+			continue
+		}
+		out = append(out, AlignedPair{
+			WindowStart: start,
+			WindowEnd:   end,
+			ActiveW:     s.Watts - idleW,
+			M:           ms.WindowMean(lo, hi),
+		})
+	}
+	return out
+}

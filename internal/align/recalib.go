@@ -1,0 +1,145 @@
+package align
+
+import (
+	"fmt"
+
+	"powercontainers/internal/model"
+	"powercontainers/internal/power"
+	"powercontainers/internal/sim"
+)
+
+// Recalibrator performs the paper's measurement-aligned online model
+// recalibration: it ingests newly delivered meter readings, aligns them
+// with the facility's system metric series using the estimated delay, and
+// refits the model over the union of offline calibration samples and online
+// samples, weighed equally (§3.2).
+type Recalibrator struct {
+	// Meter supplies online measurements.
+	Meter power.Meter
+	// Scope selects the regression target: package-scope against an
+	// on-chip meter, machine-scope against a wall meter.
+	Scope model.FitScope
+	// Offline holds the original calibration samples.
+	Offline []model.CalSample
+	// MaxOnline bounds the retained online sample set (FIFO eviction).
+	MaxOnline int
+	// MinOnline is the number of online samples required before the
+	// first refit.
+	MinOnline int
+	// AutoAlignAfter is how many delivered samples to accumulate before
+	// estimating the delay; until then Ingest buffers without aligning.
+	AutoAlignAfter int
+	// MaxDelay bounds the delay search.
+	MaxDelay sim.Time
+
+	delay       sim.Time
+	delayKnown  bool
+	online      []model.CalSample
+	seen        int
+	buffered    []power.Sample
+	refits      int
+	lastFitErr  error
+	alignedOnce bool
+}
+
+// NewRecalibrator returns a recalibrator with sensible defaults for the
+// given meter: the delay search spans 10× the meter interval plus 2 s.
+func NewRecalibrator(meter power.Meter, scope model.FitScope, offline []model.CalSample) *Recalibrator {
+	return &Recalibrator{
+		Meter:          meter,
+		Scope:          scope,
+		Offline:        offline,
+		MaxOnline:      4000,
+		MinOnline:      8,
+		AutoAlignAfter: 10,
+		MaxDelay:       2*sim.Second + 2*meter.Interval(),
+	}
+}
+
+// Delay returns the estimated measurement delay and whether it is known yet.
+func (r *Recalibrator) Delay() (sim.Time, bool) { return r.delay, r.delayKnown }
+
+// SetDelay fixes the delay explicitly (used when a prior alignment run
+// already measured it; the paper notes the lag on a given system is
+// unlikely to change dynamically).
+func (r *Recalibrator) SetDelay(d sim.Time) {
+	r.delay = d
+	r.delayKnown = true
+}
+
+// OnlineCount returns the number of retained online samples.
+func (r *Recalibrator) OnlineCount() int { return len(r.online) }
+
+// Refits returns how many successful refits have been performed.
+func (r *Recalibrator) Refits() int { return r.refits }
+
+// Ingest pulls newly delivered meter samples at time now, aligns them
+// against the metric series, and appends online calibration samples.
+// It returns the number of new online samples.
+func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current model.Coefficients) int {
+	all := r.Meter.Read(now)
+	if len(all) <= r.seen {
+		return 0
+	}
+	fresh := all[r.seen:]
+	r.seen = len(all)
+	r.buffered = append(r.buffered, fresh...)
+
+	if !r.delayKnown {
+		if len(r.buffered) < r.AutoAlignAfter {
+			return 0
+		}
+		modelPower := ms.ModeledPower(current, ms.Len())
+		curve := CorrelationCurve(r.buffered, r.Meter.IdleW(), r.Meter.Interval(),
+			modelPower, ms.Interval(), ms.Interval(), 0, r.MaxDelay)
+		d, err := EstimateDelay(curve)
+		if err != nil {
+			r.lastFitErr = err
+			return 0
+		}
+		r.delay = d
+		r.delayKnown = true
+	}
+
+	pairs := AlignSamples(r.buffered, r.Meter.IdleW(), r.Meter.Interval(), ms, r.delay)
+	r.buffered = r.buffered[:0]
+	added := 0
+	for _, p := range pairs {
+		s := model.CalSample{M: p.M, Weight: 1}
+		if r.Scope == model.ScopePackage {
+			s.PkgActiveW = p.ActiveW
+			s.MachineActiveW = p.ActiveW // unused in package scope
+		} else {
+			s.MachineActiveW = p.ActiveW
+		}
+		r.online = append(r.online, s)
+		added++
+	}
+	if over := len(r.online) - r.MaxOnline; over > 0 {
+		r.online = append(r.online[:0], r.online[over:]...)
+	}
+	return added
+}
+
+// Refit fits the model over offline+online samples, equally weighted. The
+// base coefficients supply any terms outside the fitted scope.
+func (r *Recalibrator) Refit(base model.Coefficients) (model.Coefficients, error) {
+	if len(r.online) < r.MinOnline {
+		return base, fmt.Errorf("align: only %d online samples (need %d)", len(r.online), r.MinOnline)
+	}
+	combined := make([]model.CalSample, 0, len(r.Offline)+len(r.online))
+	combined = append(combined, r.Offline...)
+	combined = append(combined, r.online...)
+	c, err := model.Fit(combined, model.FitOptions{
+		Scope:            r.Scope,
+		IncludeChipShare: base.IncludesChipShare,
+		IdleW:            base.IdleW,
+		Base:             base,
+	})
+	if err != nil {
+		r.lastFitErr = err
+		return base, err
+	}
+	r.refits++
+	return c, nil
+}

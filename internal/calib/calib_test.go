@@ -1,0 +1,109 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/model"
+	"powercontainers/internal/power"
+)
+
+// fastConfig shortens windows for unit tests; bounds stay aligned to the
+// Wattsup meter's one-second windows.
+func fastConfig() Config { return Config{Seed: 1, WarmupSec: 1.0, WindowSec: 1.0} }
+
+func TestCalibrateSandyBridge(t *testing.T) {
+	res, err := Calibrate(cpu.SandyBridge, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("Eq1: %v (fit err %.1f%%)", res.Eq1, 100*res.FitErrEq1)
+	t.Logf("Eq2: %v (fit err %.1f%%)", res.Eq2, 100*res.FitErrEq2)
+	t.Logf("Mmax: %+v", res.Mmax)
+	p := power.MustProfile(cpu.SandyBridge)
+
+	if res.IdleW != p.MachineIdleW {
+		t.Errorf("IdleW = %g, want %g", res.IdleW, p.MachineIdleW)
+	}
+	if len(res.Samples) != 32 {
+		t.Fatalf("samples = %d, want 8 benches × 4 loads", len(res.Samples))
+	}
+	// The Eq. 2 fit should recover the hidden linear terms reasonably:
+	// the utilization coefficient near CoreW, the chip-share coefficient
+	// near the chip maintenance power.
+	if math.Abs(res.Eq2.Core-p.CoreW) > 0.35*p.CoreW {
+		t.Errorf("Eq2 core coefficient %.2f far from hidden CoreW %.2f", res.Eq2.Core, p.CoreW)
+	}
+	if math.Abs(res.Eq2.Chip-p.ChipMaintW) > 0.5*p.ChipMaintW {
+		t.Errorf("Eq2 chip coefficient %.2f far from hidden maintenance %.2f", res.Eq2.Chip, p.ChipMaintW)
+	}
+	// Eq. 2 must fit the calibration set better than Eq. 1 (which has no
+	// column for maintenance power).
+	if res.FitErrEq2 >= res.FitErrEq1 {
+		t.Errorf("Eq2 fit error %.3f not better than Eq1 %.3f", res.FitErrEq2, res.FitErrEq1)
+	}
+	if res.FitErrEq2 > 0.08 {
+		t.Errorf("Eq2 calibration fit error %.1f%% too high", 100*res.FitErrEq2)
+	}
+	// SandyBridge carries the on-chip meter: package targets present.
+	for i, s := range res.Samples {
+		if math.IsNaN(s.PkgActiveW) {
+			t.Fatalf("sample %d missing package power", i)
+		}
+	}
+}
+
+func TestCalibrateAllMachinesHaveSaneCoefficients(t *testing.T) {
+	for _, spec := range cpu.Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			res, err := Calibrate(spec, fastConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s Eq2: %v (fit err %.1f%%)", spec.Name, res.Eq2, 100*res.FitErrEq2)
+			if res.Eq2.Core <= 0 {
+				t.Errorf("non-positive core coefficient %g", res.Eq2.Core)
+			}
+			if res.Eq2.Chip <= 0 {
+				t.Errorf("non-positive chip-share coefficient %g", res.Eq2.Chip)
+			}
+			if res.FitErrEq2 > 0.10 {
+				t.Errorf("fit error %.1f%% too high", 100*res.FitErrEq2)
+			}
+			if HasChipMeter(spec) != (spec.Name == "SandyBridge") {
+				t.Error("chip meter presence wrong")
+			}
+			if !math.IsNaN(res.Samples[0].PkgActiveW) && spec.Name != "SandyBridge" {
+				t.Error("non-SandyBridge machine has package measurements")
+			}
+			// Mmax sanity: utilization can't exceed the core count.
+			// The summed chip share may transiently exceed the chip
+			// count — Eq. 3 reads stale sibling samples without
+			// synchronization — but not wildly.
+			if res.Mmax.Core > float64(spec.Cores())+0.01 {
+				t.Errorf("Mmax.Core = %g exceeds core count", res.Mmax.Core)
+			}
+			if res.Mmax.Chip > 1.6*float64(spec.Chips) {
+				t.Errorf("Mmax.Chip = %g far above chip count %d", res.Mmax.Chip, spec.Chips)
+			}
+		})
+	}
+}
+
+func TestCalibrationDeterminism(t *testing.T) {
+	a, err := Calibrate(cpu.SandyBridge, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Calibrate(cpu.SandyBridge, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Eq2 != b.Eq2 {
+		t.Fatalf("calibration not deterministic:\n%v\n%v", a.Eq2, b.Eq2)
+	}
+}
+
+var _ = model.Coefficients{} // keep import for future assertions

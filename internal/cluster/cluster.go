@@ -1,0 +1,448 @@
+// Package cluster implements §3.4's heterogeneity-aware request
+// distribution: a dispatcher spreads a mixed workload over machines of
+// different generations, using per-request cross-machine energy profiles
+// captured by power containers to place each request where its relative
+// energy efficiency is high. Request context (the container identity and
+// statistics) crosses machines with the tagged dispatch message, as the
+// paper propagates containers over socket messages between machines.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+)
+
+// Policy selects the request distribution scheme of §4.4.
+type Policy int
+
+const (
+	// SimpleBalance directs an equal amount of load to every machine,
+	// oblivious to heterogeneity.
+	SimpleBalance Policy = iota
+	// MachineAware loads the most energy-efficient machine to a healthy
+	// high utilization (~70%) before spilling to others, but distributes
+	// the same request composition everywhere.
+	MachineAware
+	// WorkloadAware additionally places requests by their cross-machine
+	// energy affinity: when the efficient machine nears its cap,
+	// requests whose relative efficiency there is low are spilled first.
+	WorkloadAware
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SimpleBalance:
+		return "simple load balance"
+	case MachineAware:
+		return "machine heterogeneity-aware"
+	case WorkloadAware:
+		return "workload heterogeneity-aware"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// App is one application hosted on every node of the cluster.
+type App struct {
+	Name string
+	// NewRequest draws a request (node-independent payload).
+	NewRequest func() *server.Request
+	// SvcSec[node] is the app's mean per-request busy time on each node
+	// (dispatchers know service demand from standard monitoring).
+	SvcSec []float64
+	// AffinityRatio is the cross-machine active energy usage ratio
+	// (node0 energy / node1 energy) captured by power containers; lower
+	// means node0 is relatively much more efficient for this app.
+	// Only the workload-aware policy may consult it.
+	AffinityRatio float64
+}
+
+// loadTauSec is the decay horizon of the dispatcher's per-node offered-load
+// estimate.
+const loadTauSec = 1.0
+
+// Node is one machine of the cluster with the apps deployed on it.
+type Node struct {
+	K    *kernel.Kernel
+	Fac  *core.Facility
+	Gens map[string]*server.LoadGen
+
+	// ReservedUtil is the utilization fraction standing system services
+	// (e.g. GAE background processing) consume on this node regardless
+	// of dispatched load; capacity planning subtracts it.
+	ReservedUtil float64
+
+	// loadEWMA tracks recently dispatched busy-seconds with exponential
+	// decay; loadEWMA/ (τ·cores) estimates the node's offered
+	// utilization.
+	loadEWMA    float64
+	loadUpdated float64
+}
+
+// noteDispatch decays and bumps the node's offered-load estimate.
+func (n *Node) noteDispatch(nowSec, svcSec float64) {
+	n.decay(nowSec)
+	n.loadEWMA += svcSec
+}
+
+func (n *Node) decay(nowSec float64) {
+	if nowSec > n.loadUpdated {
+		n.loadEWMA *= math.Exp(-(nowSec - n.loadUpdated) / loadTauSec)
+		n.loadUpdated = nowSec
+	}
+}
+
+// estUtil estimates the node's offered utilization, including its standing
+// reserved load.
+func (n *Node) estUtil(nowSec float64) float64 {
+	n.decay(nowSec)
+	return n.ReservedUtil + n.loadEWMA/(loadTauSec*float64(n.K.Spec.Cores()))
+}
+
+// NewNode deploys every app on a machine.
+func NewNode(k *kernel.Kernel, fac *core.Facility, apps []*App, deploy func(app *App, k *kernel.Kernel) *server.Deployment) *Node {
+	n := &Node{K: k, Fac: fac, Gens: map[string]*server.LoadGen{}}
+	for _, app := range apps {
+		dep := deploy(app, k)
+		n.Gens[app.Name] = server.NewLoadGen(k, fac, dep)
+	}
+	return n
+}
+
+// Dispatcher routes requests to nodes under a policy. Node 0 must be the
+// most energy-efficient machine.
+type Dispatcher struct {
+	Eng    *sim.Engine
+	Nodes  []*Node
+	Apps   []*App
+	Policy Policy
+	// UtilCap is the healthy utilization bound for the efficient machine
+	// (the paper uses ~70%).
+	UtilCap float64
+
+	// Ledger tracks cross-machine request accounting via tagged dispatch
+	// and response messages (§3.4).
+	Ledger *Ledger
+	// PowerTargets holds optional per-app request power targets that the
+	// dispatcher propagates to executing machines with the dispatch tag.
+	PowerTargets map[string]float64
+
+	rr        int
+	completed []CompletedRequest
+	// perApp[node][app] counts dispatched requests, for diagnostics.
+	perApp []map[string]int
+	// splits[app][node] is the placement plan: the probability that a
+	// request of the app goes to the node. Computed by SetRates.
+	splits map[string][]float64
+	rng    *sim.Rand
+}
+
+// CompletedRequest records one finished request and the app and node it
+// belonged to.
+type CompletedRequest struct {
+	App  string
+	Node int
+	Req  *server.Request
+}
+
+// NewDispatcher assembles a dispatcher.
+func NewDispatcher(eng *sim.Engine, nodes []*Node, apps []*App, policy Policy) *Dispatcher {
+	d := &Dispatcher{
+		Eng: eng, Nodes: nodes, Apps: apps, Policy: policy,
+		UtilCap: 0.70, Ledger: NewLedger(), PowerTargets: map[string]float64{},
+	}
+	for range nodes {
+		d.perApp = append(d.perApp, map[string]int{})
+	}
+	return d
+}
+
+// Completed returns all finished requests across nodes.
+func (d *Dispatcher) Completed() []CompletedRequest { return d.completed }
+
+// DispatchCounts returns per-node, per-app dispatch counts.
+func (d *Dispatcher) DispatchCounts() []map[string]int { return d.perApp }
+
+// nowSec returns the dispatcher's wall clock in seconds.
+func (d *Dispatcher) nowSec() float64 {
+	return float64(d.Eng.Now()) / float64(sim.Second)
+}
+
+// SetRates informs the dispatcher of the offered per-app request rates and
+// computes the placement plan. Both heterogeneity-aware policies fill the
+// efficient machine to the healthy cap before spilling; the workload-aware
+// policy additionally fills it in ascending affinity-ratio order, so the
+// requests that would waste the most energy on the older machine stay on
+// the efficient one (§3.4).
+func (d *Dispatcher) SetRates(rates map[string]float64, rng *sim.Rand) {
+	d.rng = rng
+	d.splits = map[string][]float64{}
+	n := len(d.Nodes)
+	if n == 0 {
+		return
+	}
+	// demand(a, node) is the fraction of node's cores app a's full volume
+	// would keep busy.
+	demand := func(a *App, node int) float64 {
+		return rates[a.Name] * a.SvcSec[node] / float64(d.Nodes[node].K.Spec.Cores())
+	}
+	switch d.Policy {
+	case SimpleBalance:
+		for _, a := range d.Apps {
+			d.splits[a.Name] = equalSplit(n)
+		}
+
+	case MachineAware:
+		// Tier filling with the same composition everywhere: every app
+		// contributes the same fraction to each tier; each tier up to
+		// the last is filled to the cap in efficiency order.
+		remainingVolume := 1.0 // fraction of every app's volume unplaced
+		for _, a := range d.Apps {
+			d.splits[a.Name] = make([]float64, n)
+		}
+		for node := 0; node < n && remainingVolume > 1e-9; node++ {
+			frac := remainingVolume
+			if node < n-1 {
+				var total float64
+				for _, a := range d.Apps {
+					total += demand(a, node)
+				}
+				avail := d.UtilCap - d.Nodes[node].ReservedUtil
+				if avail < 0.05 {
+					avail = 0.05
+				}
+				if total > 0 && remainingVolume*total > avail {
+					frac = avail / total
+				}
+			}
+			for _, a := range d.Apps {
+				d.splits[a.Name][node] = frac
+			}
+			remainingVolume -= frac
+		}
+
+	case WorkloadAware:
+		// Tier filling in ascending affinity-ratio order: the apps with
+		// the strongest affinity to the efficient tiers claim their
+		// capacity first; each subsequent tier absorbs the spill.
+		order := append([]*App(nil), d.Apps...)
+		sort.Slice(order, func(i, j int) bool {
+			return order[i].AffinityRatio < order[j].AffinityRatio
+		})
+		left := map[string]float64{} // unplaced fraction per app
+		for _, a := range d.Apps {
+			d.splits[a.Name] = make([]float64, n)
+			left[a.Name] = 1
+		}
+		for node := 0; node < n; node++ {
+			capacity := d.UtilCap - d.Nodes[node].ReservedUtil
+			if capacity < 0.05 {
+				capacity = 0.05
+			}
+			if node == n-1 {
+				capacity = 1e18 // the last tier absorbs everything
+			}
+			for _, a := range order {
+				if left[a.Name] <= 1e-12 {
+					continue
+				}
+				dem := demand(a, node) * left[a.Name]
+				share := left[a.Name]
+				if dem > 0 && dem > capacity {
+					share = left[a.Name] * capacity / dem
+				}
+				d.splits[a.Name][node] = share
+				left[a.Name] -= share
+				capacity -= demand(a, node) * share
+				if capacity < 0 {
+					capacity = 0
+				}
+			}
+		}
+	}
+	d.rebalance(demand)
+}
+
+// rebalance relaxes the healthy-utilization caps when the last tier would
+// be driven past saturation while earlier tiers still have headroom:
+// keeping every machine responsive takes precedence over the efficiency
+// ordering. For the workload-aware policy the volume moved up is the
+// lowest-affinity-ratio work on the overloaded tier, preserving as much of
+// the placement preference as possible.
+func (d *Dispatcher) rebalance(demand func(a *App, node int) float64) {
+	n := len(d.Nodes)
+	if n < 2 || d.Policy == SimpleBalance {
+		return
+	}
+	const hardCap = 0.92
+	util := func(node int) float64 {
+		u := d.Nodes[node].ReservedUtil
+		for _, a := range d.Apps {
+			u += d.splits[a.Name][node] * demand(a, node)
+		}
+		return u
+	}
+	order := append([]*App(nil), d.Apps...)
+	sort.Slice(order, func(i, j int) bool {
+		return order[i].AffinityRatio < order[j].AffinityRatio
+	})
+	last := n - 1
+	for iter := 0; iter < 100; iter++ {
+		over := util(last) - hardCap
+		if over <= 1e-9 {
+			return
+		}
+		moved := false
+		for recv := 0; recv < last && over > 1e-9; recv++ {
+			headroom := hardCap - util(recv)
+			if headroom <= 1e-9 {
+				continue
+			}
+			for _, a := range order {
+				frac := d.splits[a.Name][last]
+				if frac <= 1e-12 {
+					continue
+				}
+				dRecv, dLast := demand(a, recv), demand(a, last)
+				if dRecv <= 0 || dLast <= 0 {
+					continue
+				}
+				move := frac
+				if move*dRecv > headroom {
+					move = headroom / dRecv
+				}
+				if move*dLast > over {
+					move = over / dLast
+				}
+				if move <= 1e-12 {
+					continue
+				}
+				d.splits[a.Name][last] -= move
+				d.splits[a.Name][recv] += move
+				headroom -= move * dRecv
+				over -= move * dLast
+				moved = true
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+func equalSplit(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = 1 / float64(n)
+	}
+	return s
+}
+
+// pick chooses the node for a request of the given app: the planned split
+// when one exists, with an overload guard that reroutes when the chosen
+// node's offered load runs far past saturation while the other has room.
+func (d *Dispatcher) pick(app *App) int {
+	var node int
+	if d.splits != nil && d.rng != nil {
+		if split, ok := d.splits[app.Name]; ok {
+			node = d.rng.Pick(split)
+		}
+	} else {
+		d.rr++
+		node = d.rr % len(d.Nodes)
+	}
+	if d.Policy != SimpleBalance && len(d.Nodes) > 1 {
+		// Overload guard: if the planned node's offered load runs far
+		// past saturation, reroute to the least-loaded node with room.
+		now := d.nowSec()
+		if d.Nodes[node].estUtil(now) > 1.1 {
+			best, bestUtil := node, d.Nodes[node].estUtil(now)
+			for i := range d.Nodes {
+				if u := d.Nodes[i].estUtil(now); u < bestUtil {
+					best, bestUtil = i, u
+				}
+			}
+			if bestUtil < 0.9 {
+				node = best
+			}
+		}
+	}
+	return node
+}
+
+// Dispatch routes one request of the app. The dispatch message carries a
+// container tag with the request identifier and control policy; the
+// completion path returns cumulative statistics to the dispatcher's ledger.
+func (d *Dispatcher) Dispatch(app *App) {
+	node := d.pick(app)
+	n := d.Nodes[node]
+	req := app.NewRequest()
+	tag := d.Ledger.Open(app.Name, d.PowerTargets[app.Name], d.Eng.Now())
+	// The executing machine materializes the remote container and applies
+	// the propagated control policy before the request runs.
+	req.Cont = n.Fac.NewContainer(req.Type)
+	req.Cont.PowerTargetW = tag.PowerTargetW
+	n.noteDispatch(d.nowSec(), app.SvcSec[node])
+	d.perApp[node][app.Name]++
+	machine := n.K.Name()
+	n.Gens[app.Name].InjectPrepared(req, func(r *server.Request) {
+		d.completed = append(d.completed, CompletedRequest{App: app.Name, Node: node, Req: r})
+		// Response message tagged with cumulative usage (§3.4).
+		if err := d.Ledger.Close(responseTag(tag, machine, r), d.Eng.Now()); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// RunOpenLoop drives Poisson arrivals for every app at the given per-app
+// rates until the deadline, planning placements from the rates first.
+func (d *Dispatcher) RunOpenLoop(rates map[string]float64, until sim.Time, rng *sim.Rand) {
+	d.SetRates(rates, rng.Fork(99))
+	for _, app := range d.Apps {
+		app := app
+		rate, ok := rates[app.Name]
+		if !ok || rate <= 0 {
+			continue
+		}
+		meanGap := float64(sim.Second) / rate
+		r := rng.Fork(uint64(len(app.Name)) + uint64(app.Name[0]))
+		var arrive func()
+		arrive = func() {
+			if d.Eng.Now() >= until {
+				return
+			}
+			d.Dispatch(app)
+			gap := sim.Time(r.ExpFloat64(meanGap))
+			if gap < 1 {
+				gap = 1
+			}
+			d.Eng.After(gap, arrive)
+		}
+		d.Eng.After(sim.Time(r.ExpFloat64(meanGap)), arrive)
+	}
+}
+
+// ResponseTimes returns mean response time (ms) per app across the cluster.
+func (d *Dispatcher) ResponseTimes() map[string]float64 {
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, c := range d.completed {
+		if !c.Req.Finished() {
+			continue
+		}
+		sums[c.App] += float64(c.Req.ResponseTime()) / float64(sim.Millisecond)
+		counts[c.App]++
+	}
+	out := map[string]float64{}
+	for name, s := range sums {
+		if counts[name] > 0 {
+			out[name] = s / float64(counts[name])
+		}
+	}
+	return out
+}

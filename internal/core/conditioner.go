@@ -1,0 +1,101 @@
+package core
+
+import (
+	"powercontainers/internal/cpu"
+)
+
+// Conditioner implements §3.4's fair request power conditioning: each
+// request gets an active power budget derived from the system target and
+// the number of busy cores; requests exceeding their budget are throttled
+// with per-core CPU duty-cycle modulation while normal requests run at full
+// speed. Duty levels are reassessed after each periodic counter sampling
+// (~once per millisecond) and applied whenever a core switches requests.
+type Conditioner struct {
+	// SystemTargetW is the whole-system active power target (e.g. the
+	// 40 W cap of Figure 11).
+	SystemTargetW float64
+
+	f *Facility
+
+	// ThrottleDecisions counts duty-level changes, for overhead
+	// reporting.
+	ThrottleDecisions uint64
+}
+
+// EnableConditioning activates fair power conditioning with the given
+// system active power target and returns the conditioner.
+func (f *Facility) EnableConditioning(systemTargetW float64) *Conditioner {
+	f.cond = &Conditioner{SystemTargetW: systemTargetW, f: f}
+	return f.cond
+}
+
+// DisableConditioning removes the conditioning policy; cores return to full
+// speed the next time each is adjusted... immediately for simplicity.
+func (f *Facility) DisableConditioning() {
+	f.cond = nil
+	for _, c := range f.K.Cores {
+		if c.DutyLevel() != c.DutyMax() {
+			c.SetDutyLevel(c.DutyMax())
+		}
+	}
+}
+
+// budget returns the current per-request power budget: the system target
+// divided evenly among busy cores, so a request running while siblings
+// idle legitimately enjoys a larger budget (the unthrottled viruses at the
+// top-right of Figure 12).
+func (c *Conditioner) budget() float64 {
+	busy := c.f.K.BusyCores()
+	if busy < 1 {
+		busy = 1
+	}
+	return c.SystemTargetW / float64(busy)
+}
+
+// perRequestTarget returns the budget for one container, honouring an
+// explicit per-container target when set.
+func (c *Conditioner) perRequestTarget(cont *Container) float64 {
+	if cont.PowerTargetW > 0 {
+		return cont.PowerTargetW
+	}
+	return c.budget()
+}
+
+// adjust reassesses a running request's duty level from its most recent
+// modeled power (called after each periodic sample).
+func (c *Conditioner) adjust(core *cpu.Core, cont *Container) {
+	target := c.perRequestTarget(cont)
+	lvl := cont.dutyLevel
+	if lvl == 0 {
+		lvl = core.DutyMax()
+	}
+	cur := cont.LastPowerW
+	switch {
+	case cur > target && lvl > 1:
+		lvl--
+	case lvl < core.DutyMax():
+		// Step back up only if the projected power at the higher
+		// level (linear in duty, §3.4) stays within budget.
+		projected := cur * float64(lvl+1) / float64(lvl)
+		if projected <= target {
+			lvl++
+		}
+	}
+	if lvl != cont.dutyLevel {
+		cont.dutyLevel = lvl
+		c.ThrottleDecisions++
+	}
+	c.apply(core, cont)
+}
+
+// apply programs the core's duty register for the request about to run
+// (or continuing to run) on it.
+func (c *Conditioner) apply(core *cpu.Core, cont *Container) {
+	lvl := cont.dutyLevel
+	if lvl == 0 {
+		lvl = core.DutyMax()
+	}
+	if core.DutyLevel() != lvl {
+		core.SetDutyLevel(lvl)
+	}
+}

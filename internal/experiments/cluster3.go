@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"powercontainers/internal/cluster"
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/power"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+// Cluster3Result extends the paper's two-machine distribution case study
+// (§4.4) to a three-tier heterogeneous cluster — SandyBridge, Westmere and
+// Woodcrest — exercising the N-tier placement plan: both aware policies
+// fill tiers in efficiency order; the workload-aware one additionally fills
+// each tier in ascending affinity-ratio order.
+type Cluster3Result struct {
+	Policies []Fig14Policy
+	// Affinity[app][node] is the profiled per-request energy (J) on each
+	// node; ratios are vs node 0.
+	Energy map[string][]float64
+	// Savings of the workload-aware policy.
+	SavingVsSimple       float64
+	SavingVsMachineAware float64
+}
+
+func cluster3Specs() []cpu.MachineSpec {
+	return []cpu.MachineSpec{cpu.SandyBridge, cpu.Westmere, cpu.Woodcrest}
+}
+
+// Cluster3 runs the three-machine distribution experiment.
+func Cluster3(seed uint64) (*Cluster3Result, error) {
+	specs := cluster3Specs()
+
+	// Profiling: per-app mean request energy on every machine.
+	energy := map[string][]float64{}
+	affinity := map[string]float64{}
+	for _, wl := range []workload.Workload{workload.GAE{}, workload.RSA{}} {
+		for _, spec := range specs {
+			r, err := Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			n := 0
+			for _, req := range r.Gen.Completed() {
+				if req.Finished() && req.Done >= r.T0 && req.Done < r.T1 {
+					sum += req.Cont.EnergyJ()
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("cluster3 profiling: no %s requests on %s", wl.Name(), spec.Name)
+			}
+			energy[wl.Name()] = append(energy[wl.Name()], sum/float64(n))
+		}
+		// Affinity ratio vs the least efficient tier (node 0 / last).
+		e := energy[wl.Name()]
+		affinity[wl.Name()] = e[0] / e[len(e)-1]
+	}
+
+	res := &Cluster3Result{Energy: energy}
+	for _, pol := range []cluster.Policy{cluster.SimpleBalance, cluster.MachineAware, cluster.WorkloadAware} {
+		p, err := cluster3Run(pol, affinity, seed)
+		if err != nil {
+			return nil, fmt.Errorf("cluster3 %s: %w", pol, err)
+		}
+		res.Policies = append(res.Policies, *p)
+	}
+	if simple := res.Policies[0].TotalW; simple > 0 {
+		res.SavingVsSimple = 1 - res.Policies[2].TotalW/simple
+	}
+	if machine := res.Policies[1].TotalW; machine > 0 {
+		res.SavingVsMachineAware = 1 - res.Policies[2].TotalW/machine
+	}
+	return res, nil
+}
+
+func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (*Fig14Policy, error) {
+	specs := cluster3Specs()
+	eng := sim.NewEngine()
+	rng := sim.NewRand(seed * 37)
+
+	wls := map[string]workload.Workload{
+		"GAE-Vosao":  workload.GAE{},
+		"RSA-crypto": workload.RSA{},
+	}
+	var apps []*cluster.App
+	for _, name := range []string{"GAE-Vosao", "RSA-crypto"} {
+		apps = append(apps, &cluster.App{Name: name, AffinityRatio: affinity[name]})
+	}
+
+	var nodes []*cluster.Node
+	var meters []*power.WattsupMeter
+	deps := make([]map[string]*server.Deployment, len(specs))
+	for i, spec := range specs {
+		m, err := NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*29)
+		if err != nil {
+			return nil, err
+		}
+		deps[i] = map[string]*server.Deployment{}
+		node := cluster.NewNode(m.K, m.Fac, apps, func(app *cluster.App, k *kernel.Kernel) *server.Deployment {
+			dep := wls[app.Name].Deploy(k, m.Rng.Fork(uint64(len(app.Name))))
+			deps[i][app.Name] = dep
+			return dep
+		})
+		node.ReservedUtil = workload.GAEBackgroundCoreDemand(spec) / float64(spec.Cores())
+		nodes = append(nodes, node)
+		meters = append(meters, m.Wattsup)
+	}
+	for _, app := range apps {
+		for i := range specs {
+			app.SvcSec = append(app.SvcSec, deps[i][app.Name].MeanServiceSec)
+		}
+		app.NewRequest = deps[0][app.Name].NewRequest
+	}
+
+	d := cluster.NewDispatcher(eng, nodes, apps, pol)
+
+	// Offered volume: under simple balance every node takes a third of
+	// each app's volume; the slow Woodcrest saturates first.
+	wcAvail := float64(specs[2].Cores()) * (1 - nodes[2].ReservedUtil)
+	rates := map[string]float64{}
+	for _, app := range apps {
+		rates[app.Name] = 3.0 * 1.03 * wcAvail / app.SvcSec[2]
+	}
+
+	const (
+		until = 30 * sim.Second
+		t0    = 5 * sim.Second
+		t1    = 25 * sim.Second
+	)
+	d.RunOpenLoop(rates, until, rng)
+	eng.RunUntil(until + 3*sim.Second)
+
+	out := &Fig14Policy{Policy: pol, RespMs: d.ResponseTimes(), Dispatched: d.DispatchCounts()}
+	for _, meter := range meters {
+		w, err := wattsupWindowMean(meter, eng.Now(), t0, t1)
+		if err != nil {
+			return nil, err
+		}
+		out.ActiveW = append(out.ActiveW, w)
+		out.TotalW += w
+	}
+	return out, nil
+}
+
+// Render prints the three-tier results.
+func (r *Cluster3Result) Render() string {
+	specs := cluster3Specs()
+	t := &Table{
+		Title:  "Three-tier cluster (extension): energy usage rate under the three policies",
+		Header: []string{"policy", specs[0].Name, specs[1].Name, specs[2].Name, "combined", "GAE ms", "RSA ms"},
+		Caption: fmt.Sprintf("workload-aware saves %s vs simple balance and %s vs machine-aware",
+			pct(r.SavingVsSimple), pct(r.SavingVsMachineAware)),
+	}
+	for _, p := range r.Policies {
+		t.AddRow(p.Policy.String(), w1(p.ActiveW[0]), w1(p.ActiveW[1]), w1(p.ActiveW[2]), w1(p.TotalW),
+			fmt.Sprintf("%.0f", p.RespMs["GAE-Vosao"]), fmt.Sprintf("%.0f", p.RespMs["RSA-crypto"]))
+	}
+	t2 := &Table{
+		Title:  "profiled per-request energy (J)",
+		Header: []string{"app", specs[0].Name, specs[1].Name, specs[2].Name},
+	}
+	for app, e := range r.Energy {
+		t2.AddRow(app, j2(e[0]), j2(e[1]), j2(e[2]))
+	}
+	return t.String() + "\n" + t2.String()
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+// Fig4Result reproduces Figure 4: a captured WeBWorK request execution
+// spanning Apache/httpd processing, a MySQL thread reached over a
+// persistent socket, and shell/latex/dvipng processes created by fork —
+// with attributed power and energy at each request stage and the identified
+// data/control-flow events between components.
+type Fig4Result struct {
+	Request *server.Request
+	Stages  []core.StageStat
+	Events  []core.TraceEvent
+	// TotalEnergyJ and Duration summarize the request.
+	TotalEnergyJ float64
+	Duration     sim.Time
+}
+
+// Fig4 runs WeBWorK on SandyBridge at low load with tracing enabled and
+// captures a representative (near-median-energy) request.
+func Fig4(seed uint64) (*Fig4Result, error) {
+	m, err := NewMachine(cpu.SandyBridge, core.ApproachChipShare, seed)
+	if err != nil {
+		return nil, err
+	}
+	dep := workload.WeBWorK{}.Deploy(m.K, m.Rng.Fork(11))
+	gen := server.NewLoadGen(m.K, m.Fac, dep)
+	gen.TraceRequests = true
+	gen.RunOpenLoop(4, 6*sim.Second, m.Rng.Fork(13))
+	m.Eng.RunUntil(8 * sim.Second)
+
+	done := gen.Completed()
+	if len(done) == 0 {
+		return nil, fmt.Errorf("fig4: no completed WeBWorK requests")
+	}
+	// Pick the median-energy request as the representative capture.
+	sort.Slice(done, func(i, j int) bool {
+		return done[i].Cont.EnergyJ() < done[j].Cont.EnergyJ()
+	})
+	req := done[len(done)/2]
+	return &Fig4Result{
+		Request:      req,
+		Stages:       req.Cont.Stages(),
+		Events:       req.Cont.Trace,
+		TotalEnergyJ: req.Cont.EnergyJ(),
+		Duration:     req.ResponseTime(),
+	}, nil
+}
+
+// Render prints the captured request in the style of Figure 4.
+func (r *Fig4Result) Render() string {
+	t := &Table{
+		Title:  "Figure 4: a captured WeBWorK request execution",
+		Header: []string{"stage", "mean power", "energy", "busy time"},
+		Caption: fmt.Sprintf("request %s: total %.2f J over %s (wall)",
+			r.Request.Type, r.TotalEnergyJ, sim.FormatTime(r.Duration)),
+	}
+	for _, s := range r.Stages {
+		t.AddRow(s.Task, w1(s.MeanPowerW()), j2(s.EnergyJ), sim.FormatTime(s.CPUTime))
+	}
+	out := t.String()
+
+	t2 := &Table{
+		Title:  "identified data and control flows",
+		Header: []string{"time", "event", "component", "detail"},
+	}
+	for _, e := range r.Events {
+		t2.AddRow(sim.FormatTime(e.T-r.Request.Arrive), string(e.Kind), e.Task, e.Detail)
+	}
+	return out + "\n" + t2.String()
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/workload"
+)
+
+// EvalWorkloads returns the paper's six evaluation workloads in Figure 5's
+// order.
+func EvalWorkloads() []workload.Workload {
+	return []workload.Workload{
+		workload.RSA{},
+		workload.Solr{},
+		workload.WeBWorK{},
+		workload.Stress{},
+		workload.GAE{},
+		workload.GAE{VirusLoadFraction: 0.5},
+	}
+}
+
+// Fig5Cell is one bar of Figure 5.
+type Fig5Cell struct {
+	Machine  string
+	Workload string
+	Load     LoadLevel
+	// ActiveW is measured machine active power.
+	ActiveW float64
+	// Throughput is completed requests/sec over the window.
+	Throughput float64
+}
+
+// Fig5Result reproduces Figure 5: measured active power of the application
+// workloads on the three machines at peak and half load.
+type Fig5Result struct {
+	Cells []Fig5Cell
+}
+
+// Fig5Options trims the experiment for quick runs.
+type Fig5Options struct {
+	// Machines restricts the machine set (nil = all three).
+	Machines []cpu.MachineSpec
+	// Workloads restricts the workload set (nil = all six).
+	Workloads []workload.Workload
+}
+
+// Fig5 measures every (machine, workload, load) combination.
+func Fig5(opt Fig5Options, seed uint64) (*Fig5Result, error) {
+	machines := opt.Machines
+	if machines == nil {
+		machines = cpu.Specs()
+	}
+	wls := opt.Workloads
+	if wls == nil {
+		wls = EvalWorkloads()
+	}
+	res := &Fig5Result{}
+	for _, spec := range machines {
+		for _, wl := range wls {
+			for _, load := range []LoadLevel{PeakLoad, HalfLoad} {
+				r, err := Run(spec, core.ApproachChipShare, RunSpec{Workload: wl, Load: load}, seed)
+				if err != nil {
+					return nil, err
+				}
+				res.Cells = append(res.Cells, Fig5Cell{
+					Machine:    spec.Name,
+					Workload:   wl.Name(),
+					Load:       load,
+					ActiveW:    r.MeasuredActiveW,
+					Throughput: r.Gen.Throughput(r.T0, r.T1),
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure as text.
+func (r *Fig5Result) Render() string {
+	t := &Table{
+		Title:  "Figure 5: measured active power of application workloads",
+		Header: []string{"machine", "workload", "load", "active power", "throughput"},
+	}
+	for _, c := range r.Cells {
+		t.AddRow(c.Machine, c.Workload, c.Load.String(), w1(c.ActiveW),
+			fmt.Sprintf("%.1f req/s", c.Throughput))
+	}
+	return t.String()
+}

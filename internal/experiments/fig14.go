@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"powercontainers/internal/cluster"
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/power"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+// Fig14Policy is one distribution policy's outcome.
+type Fig14Policy struct {
+	Policy cluster.Policy
+	// ActiveW[node] is each machine's measured active power over the
+	// window (node 0 = SandyBridge, node 1 = Woodcrest); TotalW is the
+	// combined active energy usage rate of Figure 14.
+	ActiveW []float64
+	TotalW  float64
+	// RespMs[app] is the mean response time (Table 1).
+	RespMs map[string]float64
+	// Dispatched[node][app] counts placements.
+	Dispatched []map[string]int
+}
+
+// Fig14Result reproduces Figure 14 and Table 1: energy usage rate and mean
+// response times of a combined GAE-Vosao + RSA-crypto workload on a
+// two-machine heterogeneous cluster under the three distribution policies.
+type Fig14Result struct {
+	Policies []Fig14Policy
+	// AffinityGAE and AffinityRSA are the container-profiled
+	// cross-machine energy ratios the workload-aware policy used.
+	AffinityGAE, AffinityRSA float64
+	// SavingVsSimple and SavingVsMachineAware are the workload-aware
+	// policy's combined-energy savings.
+	SavingVsSimple       float64
+	SavingVsMachineAware float64
+}
+
+// fig14Specs returns the cluster machines: the newer SandyBridge first.
+func fig14Specs() []cpu.MachineSpec {
+	return []cpu.MachineSpec{cpu.SandyBridge, cpu.Woodcrest}
+}
+
+// Fig14 runs the cluster experiment.
+func Fig14(seed uint64) (*Fig14Result, error) {
+	specs := fig14Specs()
+
+	// --- Profiling phase: container energy profiles on both machines
+	// give each app's cross-machine affinity ratio (§3.4). ---
+	affinity := map[string]float64{}
+	svcSec := map[string][]float64{}
+	for _, wl := range []workload.Workload{workload.GAE{}, workload.RSA{}} {
+		var mean [2]float64
+		for i, spec := range specs {
+			r, err := Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
+			if err != nil {
+				return nil, err
+			}
+			var sum float64
+			n := 0
+			for _, req := range r.Gen.Completed() {
+				if req.Finished() && req.Done >= r.T0 && req.Done < r.T1 {
+					sum += req.Cont.EnergyJ()
+					n++
+				}
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("fig14 profiling: no %s requests on %s", wl.Name(), spec.Name)
+			}
+			mean[i] = sum / float64(n)
+		}
+		affinity[wl.Name()] = mean[0] / mean[1]
+	}
+
+	res := &Fig14Result{
+		AffinityGAE: affinity["GAE-Vosao"],
+		AffinityRSA: affinity["RSA-crypto"],
+	}
+
+	// --- Distribution phase. ---
+	for _, pol := range []cluster.Policy{cluster.SimpleBalance, cluster.MachineAware, cluster.WorkloadAware} {
+		p, err := fig14Run(pol, affinity, svcSec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fig14 %s: %w", pol, err)
+		}
+		res.Policies = append(res.Policies, *p)
+	}
+	simple := res.Policies[0].TotalW
+	machine := res.Policies[1].TotalW
+	aware := res.Policies[2].TotalW
+	if simple > 0 {
+		res.SavingVsSimple = 1 - aware/simple
+	}
+	if machine > 0 {
+		res.SavingVsMachineAware = 1 - aware/machine
+	}
+	return res, nil
+}
+
+func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]float64, seed uint64) (*Fig14Policy, error) {
+	specs := fig14Specs()
+	eng := sim.NewEngine()
+	rng := sim.NewRand(seed * 31)
+
+	var nodes []*cluster.Node
+	var meters []*power.WattsupMeter
+	deps := make([]map[string]*server.Deployment, len(specs))
+
+	wls := map[string]workload.Workload{
+		"GAE-Vosao":  workload.GAE{},
+		"RSA-crypto": workload.RSA{},
+	}
+	appNames := []string{"GAE-Vosao", "RSA-crypto"}
+
+	var apps []*cluster.App
+	for _, name := range appNames {
+		apps = append(apps, &cluster.App{Name: name, AffinityRatio: affinity[name]})
+	}
+
+	for i, spec := range specs {
+		m, err := NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*17)
+		if err != nil {
+			return nil, err
+		}
+		deps[i] = map[string]*server.Deployment{}
+		node := cluster.NewNode(m.K, m.Fac, apps, func(app *cluster.App, k *kernel.Kernel) *server.Deployment {
+			dep := wls[app.Name].Deploy(k, m.Rng.Fork(uint64(len(app.Name))))
+			deps[i][app.Name] = dep
+			return dep
+		})
+		// GAE's background processing permanently occupies part of the
+		// node; the dispatcher must plan around it.
+		node.ReservedUtil = workload.GAEBackgroundCoreDemand(spec) / float64(spec.Cores())
+		nodes = append(nodes, node)
+		meters = append(meters, m.Wattsup)
+	}
+
+	// Per-node service demands and the request factories (payloads are
+	// machine-independent; use node 0's factory).
+	for _, app := range apps {
+		for i := range specs {
+			app.SvcSec = append(app.SvcSec, deps[i][app.Name].MeanServiceSec)
+		}
+		app.NewRequest = deps[0][app.Name].NewRequest
+	}
+
+	d := cluster.NewDispatcher(eng, nodes, apps, pol)
+
+	// Offered volume: the maximum supportable under simple load balance —
+	// the Woodcrest machine saturates first at half of each app's volume
+	// — with a 50/50 busy-time composition between the two apps, after
+	// the capacity its standing background processing consumes.
+	wcCores := float64(specs[1].Cores()) * (1 - nodes[1].ReservedUtil)
+	rates := map[string]float64{}
+	for _, app := range apps {
+		rates[app.Name] = 1.03 * wcCores / app.SvcSec[1]
+	}
+
+	const (
+		until = 30 * sim.Second
+		t0    = 5 * sim.Second
+		t1    = 25 * sim.Second
+	)
+	d.RunOpenLoop(rates, until, rng)
+	eng.RunUntil(until + 3*sim.Second)
+
+	out := &Fig14Policy{Policy: pol, RespMs: d.ResponseTimes(), Dispatched: d.DispatchCounts()}
+	for _, meter := range meters {
+		w, err := wattsupWindowMean(meter, eng.Now(), t0, t1)
+		if err != nil {
+			return nil, err
+		}
+		out.ActiveW = append(out.ActiveW, w)
+		out.TotalW += w
+	}
+	return out, nil
+}
+
+// Render prints Figure 14 and Table 1.
+func (r *Fig14Result) Render() string {
+	t := &Table{
+		Title:  "Figure 14: active energy usage rate under three request distribution policies",
+		Header: []string{"policy", "SandyBridge", "Woodcrest", "combined"},
+		Caption: fmt.Sprintf("workload-aware saves %s vs simple balance and %s vs machine-aware\n"+
+			"(paper: 30%% and 25%%); profiled affinity ratios: GAE %.2f, RSA %.2f",
+			pct(r.SavingVsSimple), pct(r.SavingVsMachineAware), r.AffinityGAE, r.AffinityRSA),
+	}
+	for _, p := range r.Policies {
+		t.AddRow(p.Policy.String(), w1(p.ActiveW[0]), w1(p.ActiveW[1]), w1(p.TotalW))
+	}
+	out := t.String()
+
+	t2 := &Table{
+		Title:  "Table 1: average request response time under the three policies",
+		Header: []string{"policy", "GAE-Vosao", "RSA-crypto"},
+		Caption: "paper: simple balance 537/1728 ms, machine-aware 159/66 ms,\n" +
+			"workload-aware 131/50 ms",
+	}
+	for _, p := range r.Policies {
+		t2.AddRow(p.Policy.String(),
+			fmt.Sprintf("%.0f ms", p.RespMs["GAE-Vosao"]),
+			fmt.Sprintf("%.0f ms", p.RespMs["RSA-crypto"]))
+	}
+	t3 := &Table{
+		Title:  "request placement (diagnostic)",
+		Header: []string{"policy", "node", "GAE-Vosao", "RSA-crypto"},
+	}
+	for _, p := range r.Policies {
+		for node, counts := range p.Dispatched {
+			name := fig14Specs()[node].Name
+			t3.AddRow(p.Policy.String(), name,
+				fmt.Sprintf("%d", counts["GAE-Vosao"]), fmt.Sprintf("%d", counts["RSA-crypto"]))
+		}
+	}
+	return out + "\n" + t2.String() + "\n" + t3.String()
+}

@@ -1,0 +1,274 @@
+// Package experiments implements every table and figure of the paper's
+// evaluation (§4) as a reproducible function over the simulated testbed.
+// Each experiment returns a structured result that cmd/pcbench renders in
+// the paper's format and bench_test.go exercises as a benchmark.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"powercontainers/internal/calib"
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/model"
+	"powercontainers/internal/power"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+// calibCache memoizes offline calibration per machine: it is a controlled
+// one-time procedure in the paper too ("performed once for each target
+// machine configuration").
+var calibCache struct {
+	sync.Mutex
+	m map[string]*calib.Result
+}
+
+// CalibrationFor returns the (cached) offline calibration of a machine.
+func CalibrationFor(spec cpu.MachineSpec) (*calib.Result, error) {
+	calibCache.Lock()
+	defer calibCache.Unlock()
+	if calibCache.m == nil {
+		calibCache.m = make(map[string]*calib.Result)
+	}
+	if r, ok := calibCache.m[spec.Name]; ok {
+		return r, nil
+	}
+	r, err := calib.Calibrate(spec, calib.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	calibCache.m[spec.Name] = r
+	return r, nil
+}
+
+// Machine is a fully assembled machine under test: kernel, facility, and
+// meters, with the offline-calibrated model installed.
+type Machine struct {
+	Eng     *sim.Engine
+	K       *kernel.Kernel
+	Fac     *core.Facility
+	Wattsup *power.WattsupMeter
+	Chip    *power.ChipMeter
+	Calib   *calib.Result
+	Rng     *sim.Rand
+}
+
+// NewMachine assembles a machine with the given attribution approach.
+// ApproachRecalibrated additionally wires online recalibration against the
+// machine's best meter (the on-chip meter on SandyBridge, the Wattsup
+// elsewhere).
+func NewMachine(spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+	return NewMachineOnEngine(sim.NewEngine(), spec, approach, seed)
+}
+
+// NewMachineOnEngine assembles a machine onto a shared engine (cluster
+// experiments put several machines on one timeline).
+func NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+	cal, err := CalibrationFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := power.Profiles(spec)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(spec.Name, spec, profile, eng, nil)
+	if err != nil {
+		return nil, err
+	}
+	coeff := cal.Eq2
+	if approach == core.ApproachCoreOnly {
+		coeff = cal.Eq1
+	}
+	facApproach := approach
+	if approach == core.ApproachRecalibrated {
+		facApproach = core.ApproachChipShare // recalibration wiring flips it below
+	}
+	fac := core.Attach(k, coeff, core.Config{Approach: facApproach})
+	m := &Machine{
+		Eng:     eng,
+		K:       k,
+		Fac:     fac,
+		Wattsup: power.NewWattsupMeter(k.Rec, seed*7919+1),
+		Chip:    power.NewChipMeter(k.Rec, seed*7919+2),
+		Calib:   cal,
+		Rng:     sim.NewRand(seed),
+	}
+	if approach == core.ApproachRecalibrated {
+		if calib.HasChipMeter(spec) {
+			fac.EnableRecalibration(m.Chip, model.ScopePackage, cal.Samples, 0)
+		} else {
+			fac.EnableRecalibration(m.Wattsup, model.ScopeMachine, cal.Samples, 0)
+		}
+	}
+	return m, nil
+}
+
+// LoadLevel selects the paper's two operating points.
+type LoadLevel int
+
+const (
+	// PeakLoad fully utilizes the server (closed loop, zero think time).
+	PeakLoad LoadLevel = iota
+	// HalfLoad drives ≈50% utilization (open-loop Poisson arrivals).
+	HalfLoad
+)
+
+func (l LoadLevel) String() string {
+	if l == PeakLoad {
+		return "peak load"
+	}
+	return "half load"
+}
+
+// RunSpec configures a workload run.
+type RunSpec struct {
+	Workload workload.Workload
+	Load     LoadLevel
+	// Rate overrides the arrival rate (requests/sec) when positive;
+	// otherwise it is derived from the load level.
+	Rate float64
+	// Warmup and Window bound the measurement window.
+	Warmup, Window sim.Time
+}
+
+// RunResult is one workload run's measurements.
+type RunResult struct {
+	Spec cpu.MachineSpec
+	Gen  *server.LoadGen
+	// T0, T1 bound the measurement window.
+	T0, T1 sim.Time
+	// MeasuredActiveW is the Wattsup machine-active power over the
+	// window (reading minus idle).
+	MeasuredActiveW float64
+	// AccountedW is the facility's aggregate profiled request power:
+	// total container energy accrued in the window divided by its
+	// length (§4.2's validation quantity).
+	AccountedW float64
+	// BackgroundW is the background container's share of AccountedW.
+	BackgroundW float64
+	// Machine retains the assembled machine for further inspection.
+	Machine *Machine
+}
+
+// ValidationError is the paper's Figure 8 metric:
+// |aggregate profiled request power − measured active| / measured.
+func (r *RunResult) ValidationError() float64 {
+	if r.MeasuredActiveW <= 0 {
+		return 0
+	}
+	d := r.AccountedW - r.MeasuredActiveW
+	if d < 0 {
+		d = -d
+	}
+	return d / r.MeasuredActiveW
+}
+
+// defaultWarmup and defaultWindow are aligned to Wattsup one-second
+// windows so window-mean measurement is exact.
+const (
+	defaultWarmup = 2 * sim.Second
+	defaultWindow = 8 * sim.Second
+)
+
+// PeakClients returns the closed-loop client count that saturates a
+// deployment on a machine.
+func PeakClients(spec cpu.MachineSpec) int { return 3 * spec.Cores() }
+
+// PeakRate estimates a deployment's saturation throughput (req/s).
+func PeakRate(spec cpu.MachineSpec, dep *server.Deployment) float64 {
+	return float64(spec.Cores()) / dep.MeanServiceSec
+}
+
+// Run executes a workload on a fresh machine and measures the window.
+func Run(spec cpu.MachineSpec, approach core.Approach, rs RunSpec, seed uint64) (*RunResult, error) {
+	m, err := NewMachine(spec, approach, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(m, rs)
+}
+
+// RunOn executes a workload run on an assembled machine.
+func RunOn(m *Machine, rs RunSpec) (*RunResult, error) {
+	if rs.Warmup <= 0 {
+		rs.Warmup = defaultWarmup
+		// Recalibration against a slow wall meter (1 s windows,
+		// 1.2 s delivery lag) needs tens of seconds of samples before
+		// the delay estimate and the first refits settle.
+		if r := m.Fac.Recalibrator(); r != nil && r.Meter.Interval() >= sim.Second {
+			rs.Warmup = 16 * sim.Second
+		}
+	}
+	if rs.Window <= 0 {
+		rs.Window = defaultWindow
+	}
+	dep := rs.Workload.Deploy(m.K, m.Rng.Fork(11))
+	gen := server.NewLoadGen(m.K, m.Fac, dep)
+
+	t0 := rs.Warmup
+	t1 := rs.Warmup + rs.Window
+	switch {
+	case rs.Rate > 0:
+		gen.RunOpenLoop(rs.Rate, t1, m.Rng.Fork(13))
+	case rs.Load == PeakLoad:
+		gen.RunClosedLoop(PeakClients(m.K.Spec), t1)
+	default:
+		gen.RunOpenLoop(0.5*PeakRate(m.K.Spec, dep), t1, m.Rng.Fork(13))
+	}
+
+	var accounted0, background0 float64
+	m.Eng.At(t0, func() {
+		accounted0 = m.Fac.TotalAccountedEnergyJ()
+		background0 = m.Fac.Background.EnergyJ()
+	})
+	var accounted1, background1 float64
+	m.Eng.At(t1, func() {
+		accounted1 = m.Fac.TotalAccountedEnergyJ()
+		background1 = m.Fac.Background.EnergyJ()
+	})
+	// Run past t1 so delayed meter samples are delivered.
+	m.Eng.RunUntil(t1 + 3*sim.Second)
+
+	windowSec := float64(t1-t0) / float64(sim.Second)
+	measured, err := wattsupWindowMean(m.Wattsup, m.Eng.Now(), t0, t1)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Spec:            m.K.Spec,
+		Gen:             gen,
+		T0:              t0,
+		T1:              t1,
+		MeasuredActiveW: measured,
+		AccountedW:      (accounted1 - accounted0) / windowSec,
+		BackgroundW:     (background1 - background0) / windowSec,
+		Machine:         m,
+	}, nil
+}
+
+// WattsupActiveMean averages a machine's Wattsup active power over
+// [t0, t1); the window must be aligned to whole seconds.
+func WattsupActiveMean(m *Machine, now, t0, t1 sim.Time) (float64, error) {
+	return wattsupWindowMean(m.Wattsup, now, t0, t1)
+}
+
+// wattsupWindowMean averages Wattsup active power over [t0, t1).
+func wattsupWindowMean(m *power.WattsupMeter, now, t0, t1 sim.Time) (float64, error) {
+	var sum float64
+	n := 0
+	for _, s := range m.Read(now) {
+		if s.Start >= t0 && s.Start+m.Interval() <= t1 {
+			sum += s.Watts - m.IdleW()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("experiments: no wattsup samples in [%s,%s)", sim.FormatTime(t0), sim.FormatTime(t1))
+	}
+	return sum / float64(n), nil
+}

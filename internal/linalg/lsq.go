@@ -1,0 +1,169 @@
+// Package linalg implements the small dense linear algebra needed for power
+// model calibration: least-squares fitting via the normal equations and
+// Gaussian elimination with partial pivoting. The systems involved are tiny
+// (≤ ~10 unknowns), so numerical sophistication beyond pivoting and a
+// ridge fallback for rank-deficient designs is unnecessary.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular is returned when a linear system has no unique solution even
+// after regularization.
+var ErrSingular = errors.New("linalg: singular system")
+
+// Solve solves the square system a·x = b in place (a and b are clobbered)
+// using Gaussian elimination with partial pivoting.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 {
+		return nil, errors.New("linalg: empty system")
+	}
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs has %d entries, want %d", len(b), n)
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		max := abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if m := abs(a[r][col]); m > max {
+				max, pivot = m, r
+			}
+		}
+		if max < 1e-12 {
+			return nil, ErrSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for c := i + 1; c < n; c++ {
+			sum -= a[i][c] * x[c]
+		}
+		x[i] = sum / a[i][i]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// LeastSquares fits coefficients beta minimizing Σ w_i (y_i − x_i·beta)²
+// over the rows of the design matrix. weights may be nil for uniform
+// weighting. If the normal equations are singular (a metric never varies in
+// the calibration set), a small ridge term is added; if that still fails,
+// ErrSingular is returned.
+//
+// This is the regression the paper uses both for offline model calibration
+// (§4.1) and for measurement-aligned online recalibration (§3.2), where
+// offline samples and online samples are "weighed equally in the square
+// error minimization target".
+func LeastSquares(rows [][]float64, y []float64, weights []float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("linalg: no samples")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("linalg: %d rows but %d targets", len(rows), len(y))
+	}
+	if weights != nil && len(weights) != len(rows) {
+		return nil, fmt.Errorf("linalg: %d rows but %d weights", len(rows), len(weights))
+	}
+	k := len(rows[0])
+	for i, r := range rows {
+		if len(r) != k {
+			return nil, fmt.Errorf("linalg: row %d has %d features, want %d", i, len(r), k)
+		}
+	}
+
+	// Accumulate the normal equations XᵀWX beta = XᵀWy.
+	xtx := make([][]float64, k)
+	for i := range xtx {
+		xtx[i] = make([]float64, k)
+	}
+	xty := make([]float64, k)
+	for n, row := range rows {
+		w := 1.0
+		if weights != nil {
+			w = weights[n]
+		}
+		for i := 0; i < k; i++ {
+			wi := w * row[i]
+			xty[i] += wi * y[n]
+			for j := i; j < k; j++ {
+				xtx[i][j] += wi * row[j]
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+
+	sol, err := Solve(cloneMatrix(xtx), append([]float64(nil), xty...))
+	if err == nil {
+		return sol, nil
+	}
+	// Ridge fallback: a metric that never varies in the calibration
+	// workloads makes XᵀX singular; shrink its coefficient toward zero
+	// instead of failing the whole calibration.
+	const ridge = 1e-6
+	reg := cloneMatrix(xtx)
+	for i := 0; i < k; i++ {
+		reg[i][i] += ridge * (1 + xtx[i][i])
+	}
+	sol, err = Solve(reg, append([]float64(nil), xty...))
+	if err != nil {
+		return nil, ErrSingular
+	}
+	return sol, nil
+}
+
+func cloneMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

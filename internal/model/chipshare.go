@@ -1,0 +1,68 @@
+package model
+
+import (
+	"powercontainers/internal/cpu"
+)
+
+// IdleChecker reports whether the OS is currently scheduling the idle task
+// on a core. Eq. 3 uses it to treat stale samples from idle siblings as
+// zero activity: an idle core takes no overflow interrupts, so its last
+// published utilization sample can be arbitrarily old.
+type IdleChecker interface {
+	CoreIdle(core int) bool
+}
+
+// ChipShare computes Eq. 3 for the task currently running on core self:
+//
+//	Mchipshare(c) = Mcore(c) / (1 + Σ_{siblings i} Mcore(i))
+//
+// myUtil is the current period's utilization of core self; sibling
+// utilizations are read from each sibling's most recent published sample
+// without any cross-core synchronization — the paper's deliberately
+// approximate, coordination-free estimate. If a core is busy while all
+// siblings idle, the full chip maintenance power attributes to it
+// (share = myUtil / 1); with k fully-busy cores each gets ≈1/k.
+func ChipShare(spec cpu.MachineSpec, cores []*cpu.Core, self int, myUtil float64, idle IdleChecker) float64 {
+	if myUtil <= 0 {
+		return 0
+	}
+	chip := spec.ChipOf(self)
+	var siblings float64
+	for _, sib := range cores {
+		if sib.ID == self || sib.Chip != chip {
+			continue
+		}
+		if idle != nil && idle.CoreIdle(sib.ID) {
+			continue // stale sample from an idle sibling counts as zero
+		}
+		u := sib.LastUtil
+		if u < 0 {
+			u = 0
+		}
+		if u > 1 {
+			u = 1
+		}
+		siblings += u
+	}
+	return myUtil / (1 + siblings)
+}
+
+// OracleChipShare computes the share with perfect global knowledge of how
+// many sibling cores are busy right now. It is the ablation baseline the
+// synchronization-free estimate is compared against.
+func OracleChipShare(spec cpu.MachineSpec, self int, myUtil float64, idle IdleChecker) float64 {
+	if myUtil <= 0 {
+		return 0
+	}
+	chip := spec.ChipOf(self)
+	busy := 0
+	for c := chip * spec.CoresPerChip; c < (chip+1)*spec.CoresPerChip; c++ {
+		if c == self {
+			continue
+		}
+		if idle == nil || !idle.CoreIdle(c) {
+			busy++
+		}
+	}
+	return myUtil / float64(1+busy)
+}

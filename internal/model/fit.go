@@ -1,0 +1,138 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"powercontainers/internal/linalg"
+)
+
+// CalSample is one calibration observation: system-wide mean metrics over a
+// steady-state window paired with the measured mean active power over the
+// same window. PkgActiveW is NaN on machines without an on-chip meter.
+type CalSample struct {
+	M Metrics
+	// MachineActiveW is the wall-meter reading minus machine idle.
+	MachineActiveW float64
+	// PkgActiveW is the on-chip meter reading minus package idle
+	// (math.NaN() when the machine has no on-chip meter).
+	PkgActiveW float64
+	// Weight is the regression weight (1 if zero).
+	Weight float64
+}
+
+// FitScope selects the regression target and feature set.
+type FitScope int
+
+const (
+	// ScopeMachine fits all eight coefficients against machine active
+	// power (offline calibration, and online recalibration on machines
+	// with only a wall meter).
+	ScopeMachine FitScope = iota
+	// ScopePackage fits the six CPU coefficients against package active
+	// power (online recalibration against the on-chip meter); device
+	// coefficients are carried over unchanged.
+	ScopePackage
+)
+
+// FitOptions configures a model fit.
+type FitOptions struct {
+	Scope FitScope
+	// IncludeChipShare selects Eq. 2 (true) or Eq. 1 (false). Without
+	// it, the shared maintenance power has no column to land in and
+	// smears into the utilization coefficient — the Approach #1 error
+	// source Figure 8 quantifies.
+	IncludeChipShare bool
+	// IdleW is recorded into the result for reporting (§4.1's Cidle).
+	IdleW float64
+	// Base supplies coefficients for terms outside the fitted scope
+	// (package-scope fits keep Base's disk/net terms).
+	Base Coefficients
+}
+
+// Fit calibrates model coefficients from samples by weighted least squares,
+// the procedure the paper uses both offline (§4.1) and online (§3.2, where
+// offline and online samples are weighed equally).
+func Fit(samples []CalSample, opts FitOptions) (Coefficients, error) {
+	if len(samples) == 0 {
+		return Coefficients{}, fmt.Errorf("model: no calibration samples")
+	}
+	// Column layout: core, ins, float, cache, mem, [chip], [disk, net].
+	var rows [][]float64
+	var y []float64
+	var w []float64
+	for _, s := range samples {
+		v := s.M.Vector()
+		row := v[:5:5]
+		if opts.IncludeChipShare {
+			row = append(row, v[5])
+		}
+		var target float64
+		switch opts.Scope {
+		case ScopeMachine:
+			row = append(row, v[6], v[7])
+			target = s.MachineActiveW
+		case ScopePackage:
+			target = s.PkgActiveW
+			if math.IsNaN(target) {
+				return Coefficients{}, fmt.Errorf("model: package-scope fit with sample lacking package measurement")
+			}
+		default:
+			return Coefficients{}, fmt.Errorf("model: unknown fit scope %d", opts.Scope)
+		}
+		weight := s.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		rows = append(rows, row)
+		y = append(y, target)
+		w = append(w, weight)
+	}
+	beta, err := linalg.LeastSquares(rows, y, w)
+	if err != nil {
+		return Coefficients{}, fmt.Errorf("model: fit failed: %w", err)
+	}
+
+	c := opts.Base
+	c.IdleW = opts.IdleW
+	c.IncludesChipShare = opts.IncludeChipShare
+	c.Core, c.Ins, c.Float, c.Cache, c.Mem = beta[0], beta[1], beta[2], beta[3], beta[4]
+	i := 5
+	if opts.IncludeChipShare {
+		c.Chip = beta[i]
+		i++
+	} else {
+		c.Chip = 0
+	}
+	if opts.Scope == ScopeMachine {
+		c.Disk, c.Net = beta[i], beta[i+1]
+	}
+	return c, nil
+}
+
+// FitError returns the mean absolute relative error of the model over the
+// samples, in the fitted scope; calibration reports it as a sanity check.
+func FitError(c Coefficients, samples []CalSample, scope FitScope) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		var est, meas float64
+		if scope == ScopeMachine {
+			est, meas = c.Estimate(s.M), s.MachineActiveW
+		} else {
+			est, meas = c.EstimateCPU(s.M), s.PkgActiveW
+		}
+		if meas <= 0 || math.IsNaN(meas) {
+			continue
+		}
+		sum += math.Abs(est-meas) / meas
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

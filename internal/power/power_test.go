@@ -1,0 +1,209 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/sim"
+)
+
+func TestProfilesExistForAllMachines(t *testing.T) {
+	for _, spec := range cpu.Specs() {
+		p, err := Profiles(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if p.CoreW <= 0 || p.ChipMaintW <= 0 || p.MachineIdleW <= 0 {
+			t.Errorf("%s: degenerate profile %+v", spec.Name, p)
+		}
+	}
+	if _, err := Profiles(cpu.MachineSpec{Name: "nope"}); err == nil {
+		t.Fatal("unknown machine did not error")
+	}
+}
+
+func TestCorePowerScalesWithDuty(t *testing.T) {
+	p := MustProfile(cpu.SandyBridge)
+	act := cpu.Activity{IPC: 1.5, MemPC: 0.004}
+	full := p.CorePowerW(act, 1.0)
+	half := p.CorePowerW(act, 0.5)
+	if math.Abs(half-full/2) > 1e-9 {
+		t.Fatalf("duty scaling not linear: full=%g half=%g", full, half)
+	}
+}
+
+func TestCorePowerSynergy(t *testing.T) {
+	p := MustProfile(cpu.Westmere)
+	linearOnly := p
+	linearOnly.SynW = 0
+	act := cpu.Activity{IPC: 1.4, MemPC: 0.006}
+	if p.CorePowerW(act, 1) <= linearOnly.CorePowerW(act, 1) {
+		t.Fatal("synergy term should add power for pipeline×memory workloads")
+	}
+	// No synergy without simultaneous pipeline and memory activity.
+	cpuOnly := cpu.Activity{IPC: 1.4}
+	if math.Abs(p.CorePowerW(cpuOnly, 1)-linearOnly.CorePowerW(cpuOnly, 1)) > 1e-12 {
+		t.Fatal("synergy leaked into a memory-free workload")
+	}
+}
+
+func TestSandyBridgeIdleProportions(t *testing.T) {
+	// §1: package idle is ≈5% of package power under load; machine idle
+	// is ≈32% of full machine power.
+	p := MustProfile(cpu.SandyBridge)
+	act := cpu.Activity{IPC: 1.2, LLCPC: 0.008, MemPC: 0.002}
+	pkgBusy := 4*p.CorePowerW(act, 1) + p.ChipMaintW + p.PkgIdleW
+	frac := p.PkgIdleW / pkgBusy
+	if frac > 0.10 {
+		t.Fatalf("package idle fraction %.2f, want ≈0.05", frac)
+	}
+	machineFull := p.MachineIdleW + pkgBusy - p.PkgIdleW
+	mfrac := p.MachineIdleW / machineFull
+	if mfrac < 0.2 || mfrac > 0.45 {
+		t.Fatalf("machine idle fraction %.2f, want ≈0.32", mfrac)
+	}
+}
+
+func TestRecorderCoreSegment(t *testing.T) {
+	spec := cpu.SandyBridge
+	p := MustProfile(spec)
+	r := NewRecorder(spec, p)
+	act := cpu.Activity{IPC: 1}
+	r.AddCoreSegment(0, 10*sim.Millisecond, act, 1.0)
+	want := p.CorePowerW(act, 1.0)
+	got := r.PkgActivePowerW(0, 10*sim.Millisecond)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("recorded power = %g, want %g", got, want)
+	}
+}
+
+func TestRecorderMaintenanceIntegration(t *testing.T) {
+	spec := cpu.Woodcrest // two chips
+	p := MustProfile(spec)
+	r := NewRecorder(spec, p)
+	// Chip 0 busy for first 10ms, both chips busy next 10ms.
+	r.SetChipBusyCores(0, 1, 0)
+	r.SetChipBusyCores(1, 1, 10*sim.Millisecond)
+	r.SetChipBusyCores(0, 0, 20*sim.Millisecond)
+	r.SetChipBusyCores(1, 0, 20*sim.Millisecond)
+	r.FlushUntil(30 * sim.Millisecond)
+
+	first := r.PkgActivePowerW(0, 10*sim.Millisecond)
+	second := r.PkgActivePowerW(10*sim.Millisecond, 20*sim.Millisecond)
+	third := r.PkgActivePowerW(20*sim.Millisecond, 30*sim.Millisecond)
+	if math.Abs(first-p.ChipMaintW) > 1e-9 {
+		t.Fatalf("one-chip maintenance = %g, want %g", first, p.ChipMaintW)
+	}
+	if math.Abs(second-2*p.ChipMaintW) > 1e-9 {
+		t.Fatalf("two-chip maintenance = %g, want %g", second, 2*p.ChipMaintW)
+	}
+	if third != 0 {
+		t.Fatalf("idle maintenance = %g, want 0", third)
+	}
+}
+
+func TestRecorderMaintenanceNotProportionalToCores(t *testing.T) {
+	// The Figure 1 effect: going from 1 to 2 busy cores on the same chip
+	// must NOT double maintenance power.
+	spec := cpu.SandyBridge
+	p := MustProfile(spec)
+	r := NewRecorder(spec, p)
+	r.SetChipBusyCores(0, 1, 0)
+	r.SetChipBusyCores(0, 2, 10*sim.Millisecond)
+	r.FlushUntil(20 * sim.Millisecond)
+	one := r.PkgActivePowerW(0, 10*sim.Millisecond)
+	two := r.PkgActivePowerW(10*sim.Millisecond, 20*sim.Millisecond)
+	if math.Abs(one-two) > 1e-9 {
+		t.Fatalf("maintenance changed with core count: %g vs %g", one, two)
+	}
+}
+
+func TestRecorderDeviceEnergy(t *testing.T) {
+	spec := cpu.SandyBridge
+	r := NewRecorder(spec, MustProfile(spec))
+	r.AddDeviceSegment(0, sim.Second, 1.7)
+	if got := r.MachineActivePowerW(0, sim.Second); math.Abs(got-1.7) > 1e-9 {
+		t.Fatalf("device power = %g, want 1.7", got)
+	}
+	if got := r.PkgActivePowerW(0, sim.Second); got != 0 {
+		t.Fatalf("device energy leaked into package: %g", got)
+	}
+}
+
+func TestChipMeterReportsWithDelay(t *testing.T) {
+	spec := cpu.SandyBridge
+	p := MustProfile(spec)
+	p.MeterNoiseSD = 0
+	r := NewRecorder(spec, p)
+	act := cpu.Activity{IPC: 1}
+	r.AddCoreSegment(0, 5*sim.Millisecond, act, 1.0)
+	m := NewChipMeter(r, 1)
+
+	// At t=3ms only buckets ending ≤ 2ms are delivered (1ms delay).
+	got := m.Read(3 * sim.Millisecond)
+	if len(got) != 2 {
+		t.Fatalf("delivered %d samples at 3ms, want 2", len(got))
+	}
+	want := p.CorePowerW(act, 1.0) + m.IdleW()
+	if math.Abs(got[0].Watts-want) > 1e-9 {
+		t.Fatalf("meter sample = %g, want %g", got[0].Watts, want)
+	}
+	if m.Delay() != sim.Millisecond || m.Scope() != ScopePackage {
+		t.Fatal("chip meter metadata wrong")
+	}
+}
+
+func TestChipMeterNoiseDeterministic(t *testing.T) {
+	spec := cpu.SandyBridge
+	r := NewRecorder(spec, MustProfile(spec))
+	r.AddCoreSegment(0, 5*sim.Millisecond, cpu.Activity{IPC: 1}, 1.0)
+	m := NewChipMeter(r, 42)
+	a := m.Read(10 * sim.Millisecond)
+	b := m.Read(10 * sim.Millisecond)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("repeated reads returned different samples")
+		}
+	}
+}
+
+func TestWattsupMeterWindowAndDelay(t *testing.T) {
+	spec := cpu.SandyBridge
+	p := MustProfile(spec)
+	p.MeterNoiseSD = 0
+	r := NewRecorder(spec, p)
+	act := cpu.Activity{IPC: 1}
+	r.AddCoreSegment(0, 3*sim.Second, act, 1.0)
+	m := NewWattsupMeter(r, 1)
+
+	if got := m.Read(2 * sim.Second); len(got) != 0 {
+		t.Fatalf("wattsup delivered %d samples before delay elapsed", len(got))
+	}
+	got := m.Read(2*sim.Second + 300*sim.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("wattsup delivered %d samples, want 1", len(got))
+	}
+	want := p.CorePowerW(act, 1.0) + p.MachineIdleW
+	if math.Abs(got[0].Watts-want) > 1e-9 {
+		t.Fatalf("wattsup sample = %g, want %g", got[0].Watts, want)
+	}
+	if m.Scope() != ScopeMachine || m.Interval() != sim.Second {
+		t.Fatal("wattsup metadata wrong")
+	}
+}
+
+func TestMeterIdleBaselines(t *testing.T) {
+	for _, spec := range cpu.Specs() {
+		p := MustProfile(spec)
+		r := NewRecorder(spec, p)
+		cm := NewChipMeter(r, 0)
+		wm := NewWattsupMeter(r, 0)
+		if want := p.PkgIdleW * float64(spec.Chips); cm.IdleW() != want {
+			t.Errorf("%s chip idle = %g, want %g", spec.Name, cm.IdleW(), want)
+		}
+		if wm.IdleW() != p.MachineIdleW {
+			t.Errorf("%s machine idle = %g", spec.Name, wm.IdleW())
+		}
+	}
+}

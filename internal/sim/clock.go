@@ -1,0 +1,165 @@
+// Package sim provides the deterministic discrete-event simulation core
+// used by every substrate in this repository: a virtual clock measured in
+// nanoseconds, an event queue with stable FIFO ordering for simultaneous
+// events, and a seeded pseudo-random number generator.
+//
+// All simulated machines in an experiment share one Engine so that a
+// heterogeneous cluster advances on a single virtual timeline.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time = int64
+
+// Convenient durations in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1_000
+	Millisecond Time = 1_000_000
+	Second      Time = 1_000_000_000
+)
+
+// FormatTime renders a virtual time as a human-readable duration string.
+func FormatTime(t Time) string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", t)
+	}
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among simultaneous events
+	fn  func()
+	// index in the heap, maintained by heap.Interface methods; -1 when
+	// removed. Needed for cancellation.
+	index int
+}
+
+// Handle identifies a scheduled event so that it can be cancelled.
+type Handle struct {
+	ev *event
+}
+
+// Cancelled reports whether the handle's event was cancelled or already ran.
+func (h Handle) live() bool { return h.ev != nil && h.ev.index >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation driver. It is not safe for
+// concurrent use; an entire experiment runs on one goroutine.
+type Engine struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it indicates a causality bug in the caller, not a recoverable condition.
+func (e *Engine) At(t Time, fn func()) Handle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired or
+// was already cancelled is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if !h.live() {
+		return
+	}
+	heap.Remove(&e.heap, h.ev.index)
+	h.ev.index = -1
+	h.ev.fn = nil
+}
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Step runs the next event, if any, advancing the clock to its time.
+// It reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*event)
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+// RunUntil runs events with time ≤ t, then advances the clock to exactly t.
+// Events scheduled during the run are honored if they fall within the bound.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Run drains every pending event, including ones scheduled along the way.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

@@ -1,0 +1,141 @@
+// Package trace renders captured request executions as textual timelines in
+// the style of the paper's Figure 4: one lane per server component, with
+// darkened spans for active execution, annotated with each stage's mean
+// power and energy and the identified data/control-flow events.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/sim"
+)
+
+// Timeline builds the Figure 4 rendering for one traced container.
+type Timeline struct {
+	// Width is the number of character cells the time axis spans.
+	Width int
+	// Origin is subtracted from every timestamp (usually the request's
+	// arrival time).
+	Origin sim.Time
+}
+
+// Render draws the container's execution. The container must have been
+// traced (EnableTrace before execution).
+func (tl Timeline) Render(c *core.Container) string {
+	width := tl.Width
+	if width <= 0 {
+		width = 72
+	}
+	if len(c.Intervals) == 0 {
+		return "(no trace intervals; was tracing enabled before the run?)\n"
+	}
+
+	start, end := c.Intervals[0].Start, c.Intervals[0].End
+	for _, iv := range c.Intervals {
+		if iv.Start < start {
+			start = iv.Start
+		}
+		if iv.End > end {
+			end = iv.End
+		}
+	}
+	for _, ev := range c.Trace {
+		if ev.T < start {
+			start = ev.T
+		}
+		if ev.T > end {
+			end = ev.T
+		}
+	}
+	span := end - start
+	if span <= 0 {
+		span = 1
+	}
+	cell := func(t sim.Time) int {
+		i := int(float64(t-start) / float64(span) * float64(width-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+
+	// Component lanes in first-seen order, matching stage order.
+	stages := c.Stages()
+	lanes := make(map[string][]rune, len(stages))
+	var order []string
+	for _, s := range stages {
+		order = append(order, s.Task)
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		lanes[s.Task] = row
+	}
+	for _, iv := range c.Intervals {
+		row, ok := lanes[iv.Task]
+		if !ok {
+			continue
+		}
+		lo, hi := cell(iv.Start), cell(iv.End)
+		for i := lo; i <= hi; i++ {
+			row[i] = '#'
+		}
+	}
+	// Mark flow events on the owning component's lane.
+	marks := map[core.TraceEventKind]rune{
+		core.TraceBind: 'B', core.TraceFork: 'F', core.TraceExit: 'X', core.TraceIO: 'I',
+	}
+	for _, ev := range c.Trace {
+		if row, ok := lanes[ev.Task]; ok {
+			row[cell(ev.T)] = marks[ev.Kind]
+		}
+	}
+
+	nameWidth := 0
+	for _, n := range order {
+		if len(n) > nameWidth {
+			nameWidth = len(n)
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "request %s: %s total, %.2f J\n", c.Label,
+		sim.FormatTime(end-start), c.EnergyJ())
+	byName := map[string]core.StageStat{}
+	for _, s := range stages {
+		byName[s.Task] = s
+	}
+	for _, name := range order {
+		s := byName[name]
+		fmt.Fprintf(&b, "%-*s |%s| %5.1f W %6.2f J\n",
+			nameWidth, name, string(lanes[name]), s.MeanPowerW(), s.EnergyJ)
+	}
+	// Time axis.
+	axis := make([]rune, width)
+	for i := range axis {
+		axis[i] = '-'
+	}
+	fmt.Fprintf(&b, "%-*s +%s+\n", nameWidth, "", string(axis))
+	fmt.Fprintf(&b, "%-*s  %-*s%s\n", nameWidth, "", width-10,
+		sim.FormatTime(0), sim.FormatTime(end-start))
+	b.WriteString("marks: # active  B context bind  F fork  X exit  I disk/net I/O\n")
+	return b.String()
+}
+
+// EventLog lists the flow events with offsets from the origin.
+func (tl Timeline) EventLog(c *core.Container) string {
+	events := append([]core.TraceEvent(nil), c.Trace...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	var b strings.Builder
+	for _, ev := range events {
+		fmt.Fprintf(&b, "%12s  %-5s %-8s %s\n",
+			sim.FormatTime(ev.T-tl.Origin), ev.Kind, ev.Task, ev.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+// Package workload defines the paper's evaluation workloads (§4.2) as
+// multi-stage server deployments over the simulated OS: RSA-crypto, the
+// Solr search engine, the WeBWorK homework system, the Stress benchmark,
+// Google App Engine running the Vosao CMS (with its untraceable background
+// processing), the GAE power virus, and the GAE-Hybrid mixture — plus the
+// calibration microbenchmarks of §4.1.
+//
+// Each workload specifies machine-independent work (base cycles plus an
+// activity signature); cpu.Execution translates it per machine, which is
+// what makes the cross-machine energy-affinity experiments meaningful.
+package workload
+
+import (
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+)
+
+// Activity signatures of the evaluation workloads. Rates are per
+// stall-free base cycle; memory stalls inflate cycle counts per machine.
+var (
+	// ActRSA models OpenSSL big-integer arithmetic: very high IPC,
+	// almost no cache or memory traffic.
+	ActRSA = cpu.Activity{IPC: 2.2, FLOPC: 0.02, LLCPC: 0.001, MemPC: 0.0001}
+
+	// ActSolrParse models query parsing in Tomcat.
+	ActSolrParse = cpu.Activity{IPC: 1.6, FLOPC: 0.0, LLCPC: 0.002, MemPC: 0.0005}
+
+	// ActSolrSearch models Lucene index traversal over an in-memory
+	// index: cache-heavy with moderate memory traffic.
+	ActSolrSearch = cpu.Activity{IPC: 1.1, FLOPC: 0.0, LLCPC: 0.016, MemPC: 0.004}
+
+	// ActPerl models WeBWorK's Apache/Perl PHP-style processing.
+	ActPerl = cpu.Activity{IPC: 1.3, FLOPC: 0.01, LLCPC: 0.006, MemPC: 0.0015}
+
+	// ActMySQL models the database thread's lookups.
+	ActMySQL = cpu.Activity{IPC: 1.0, FLOPC: 0.0, LLCPC: 0.012, MemPC: 0.004}
+
+	// ActShell models shells and small utilities.
+	ActShell = cpu.Activity{IPC: 1.2, FLOPC: 0.0, LLCPC: 0.004, MemPC: 0.001}
+
+	// ActLatex models LaTeX typesetting of a problem.
+	ActLatex = cpu.Activity{IPC: 1.5, FLOPC: 0.05, LLCPC: 0.008, MemPC: 0.002}
+
+	// ActDvipng models image rendering.
+	ActDvipng = cpu.Activity{IPC: 1.1, FLOPC: 0.10, LLCPC: 0.014, MemPC: 0.005}
+
+	// ActStress models the Stressful Application Test: Adler-32 over a
+	// large memory segment with added floating point — core, FPU and
+	// cache/memory units simultaneously busy (§4.2).
+	ActStress = cpu.Activity{IPC: 0.9, FLOPC: 0.5, LLCPC: 0.025, MemPC: 0.008}
+
+	// ActJVM models Google App Engine's Java server executing Vosao.
+	ActJVM = cpu.Activity{IPC: 0.9, FLOPC: 0.05, LLCPC: 0.007, MemPC: 0.0015}
+
+	// ActGAEBackground models the GAE system's untraceable background
+	// processing (suspected security management, §4.2).
+	ActGAEBackground = cpu.Activity{IPC: 1.0, FLOPC: 0.02, LLCPC: 0.009, MemPC: 0.002}
+
+	// ActVirus models the paper's simple ~200-line power virus: writing
+	// one of every four bytes over a 16 MB block keeps the cache/memory
+	// and instruction pipelining units simultaneously busy.
+	ActVirus = cpu.Activity{IPC: 1.5, FLOPC: 0.02, LLCPC: 0.030, MemPC: 0.012}
+)
+
+// Workload instantiates one of the evaluation workloads on a machine.
+type Workload interface {
+	// Name is the paper's workload label, e.g. "WeBWorK".
+	Name() string
+	// Deploy builds the workload's stages on the kernel and returns the
+	// deployment the load generator drives. rng covers all of the
+	// workload's per-request randomness.
+	Deploy(k *kernel.Kernel, rng *sim.Rand) *server.Deployment
+}
+
+// meanServiceSec estimates the busy seconds a request with the given
+// stall-free base cycles and signature needs on the machine.
+func meanServiceSec(spec cpu.MachineSpec, baseCycles float64, act cpu.Activity) float64 {
+	cycles, _ := cpu.Execution(spec, baseCycles, act)
+	return cycles / spec.FreqHz
+}
+
+// jitter returns a multiplicative jitter factor in [1-amp, 1+amp].
+func jitter(rng *sim.Rand, amp float64) float64 {
+	return 1 + amp*(2*rng.Float64()-1)
+}

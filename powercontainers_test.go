@@ -1,0 +1,291 @@
+package powercontainers
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMachinesAndWorkloadsListed(t *testing.T) {
+	if len(Machines()) != 3 {
+		t.Fatalf("machines = %v", Machines())
+	}
+	if len(Workloads()) != 6 {
+		t.Fatalf("workloads = %v", Workloads())
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem("PDP-11"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	sys, err := NewSystem("SandyBridge", WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.MachineName() != "SandyBridge" || sys.Cores() != 4 {
+		t.Fatal("system metadata wrong")
+	}
+	if _, err := sys.NewRun("FORTRAN", PeakLoad); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunProducesAccounting(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("Solr", HalfLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run.Execute(6 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Requests) < 100 {
+		t.Fatalf("requests = %d", len(rep.Requests))
+	}
+	if rep.MeasuredActiveWatts <= 0 || rep.AccountedWatts <= 0 {
+		t.Fatal("missing power readings")
+	}
+	if rep.ValidationError() > 0.30 {
+		t.Fatalf("validation error %.1f%% too high", 100*rep.ValidationError())
+	}
+	for _, q := range rep.Requests[:5] {
+		if q.EnergyJoules <= 0 || q.MeanActiveWatts <= 0 || q.Response <= 0 {
+			t.Fatalf("degenerate request report %+v", q)
+		}
+	}
+	if !strings.Contains(rep.Summary(), "Solr") {
+		t.Fatal("summary missing workload name")
+	}
+	// A run executes once.
+	if _, err := run.Execute(time.Second * 3); err == nil {
+		t.Fatal("re-execute accepted")
+	}
+}
+
+func TestRunTooShortRejected(t *testing.T) {
+	sys, _ := NewSystem("SandyBridge")
+	run, _ := sys.NewRun("Solr", HalfLoad)
+	if _, err := run.Execute(time.Second); err == nil {
+		t.Fatal("too-short run accepted")
+	}
+}
+
+func TestPowerCapThrottlesViruses(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(7), WithPowerCap(56),
+		WithAttribution(WithRecalibration))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("GAE-Vosao", PeakLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.InjectPowerViruses(2, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run.Execute(8 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var virusDuty, normalDuty float64
+	var nv, nn int
+	for _, q := range rep.Requests {
+		if q.Type == "gae/virus" {
+			virusDuty += q.DutyRatio
+			nv++
+		} else {
+			normalDuty += q.DutyRatio
+			nn++
+		}
+	}
+	if nv == 0 {
+		t.Fatal("no viruses completed")
+	}
+	if virusDuty/float64(nv) > 0.9 {
+		t.Fatalf("viruses not throttled: duty %.2f", virusDuty/float64(nv))
+	}
+	if normalDuty/float64(nn) < 0.97 {
+		t.Fatalf("normal requests throttled: duty %.2f", normalDuty/float64(nn))
+	}
+}
+
+func TestRequestTracing(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("WeBWorK", HalfLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.EnableRequestTracing()
+	rep, err := run.Execute(4 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Requests) == 0 {
+		t.Fatal("no requests")
+	}
+	q := rep.Requests[0]
+	if len(q.Stages) < 4 {
+		t.Fatalf("stages = %d, want the multi-stage flow", len(q.Stages))
+	}
+	if len(q.FlowEvents) == 0 {
+		t.Fatal("tracing produced no flow events")
+	}
+}
+
+func TestListAndRunExperiments(t *testing.T) {
+	infos := ListExperiments()
+	if len(infos) < 10 {
+		t.Fatalf("experiments = %d", len(infos))
+	}
+	out, err := RunExperiment("coeffs", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Cidle") {
+		t.Fatal("coeffs output malformed")
+	}
+	if _, err := RunExperiment("nope", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestDeterministicReports(t *testing.T) {
+	run := func() float64 {
+		sys, err := NewSystem("SandyBridge", WithSeed(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := sys.NewRun("RSA-crypto", HalfLoad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Execute(4 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.AccountedWatts
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical seeds diverged: %g vs %g", a, b)
+	}
+}
+
+func TestPerRequestPowerTargets(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("GAE-Hybrid", HalfLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttle only the viruses via a request-level policy; no system cap.
+	run.SetRequestPowerTarget("gae/virus", 12)
+	rep, err := run.Execute(8 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var virusDuty, otherDuty float64
+	var nv, no int
+	for _, q := range rep.Requests {
+		if q.Type == "gae/virus" {
+			virusDuty += q.DutyRatio
+			nv++
+		} else {
+			otherDuty += q.DutyRatio
+			no++
+		}
+	}
+	if nv == 0 || no == 0 {
+		t.Fatal("missing request classes")
+	}
+	if virusDuty/float64(nv) > 0.85 {
+		t.Fatalf("targeted viruses not throttled: duty %.2f", virusDuty/float64(nv))
+	}
+	if otherDuty/float64(no) < 0.99 {
+		t.Fatalf("untargeted requests throttled: duty %.2f", otherDuty/float64(no))
+	}
+}
+
+func TestAnomalyDetectionInReport(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("GAE-Vosao", HalfLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.EnableAnomalyDetection()
+	if err := run.InjectPowerViruses(2, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := run.Execute(8 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Anomalies) == 0 {
+		t.Fatal("no anomalies reported")
+	}
+	for _, a := range rep.Anomalies {
+		if a.RequestType != "gae/virus" {
+			t.Fatalf("false positive: %+v", a)
+		}
+		if a.PowerWatts <= a.BaselineWatts {
+			t.Fatalf("anomaly below baseline: %+v", a)
+		}
+	}
+}
+
+func TestPerClientAccounting(t *testing.T) {
+	sys, err := NewSystem("SandyBridge", WithSeed(19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := sys.NewRun("Solr", HalfLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.AssignClients(20)
+	rep, err := run.Execute(6 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Clients) < 10 {
+		t.Fatalf("clients = %d", len(rep.Clients))
+	}
+	var total float64
+	reqs := 0
+	for i, u := range rep.Clients {
+		if u.Client == "" || u.Requests == 0 || u.EnergyJoules <= 0 {
+			t.Fatalf("degenerate client usage %+v", u)
+		}
+		if i > 0 && u.EnergyJoules > rep.Clients[i-1].EnergyJoules {
+			t.Fatal("clients not sorted by energy")
+		}
+		total += u.EnergyJoules
+		reqs += u.Requests
+	}
+	if reqs != len(rep.Requests) {
+		t.Fatalf("client request counts %d != requests %d", reqs, len(rep.Requests))
+	}
+	// Zipf skew: the top client clearly outweighs the median one.
+	if rep.Clients[0].EnergyJoules < 2*rep.Clients[len(rep.Clients)/2].EnergyJoules {
+		t.Fatal("expected skewed per-client energy")
+	}
+	var sum float64
+	for _, q := range rep.Requests {
+		sum += q.EnergyJoules
+	}
+	if d := total - sum; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("client totals %.4f != request totals %.4f", total, sum)
+	}
+}
