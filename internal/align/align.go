@@ -60,11 +60,16 @@ func modelWindowMean(modelPower []float64, interval, t0, t1 sim.Time) (float64, 
 func CorrelationCurve(measured []power.Sample, idleW float64, meterInterval sim.Time,
 	modelPower []float64, modelInterval sim.Time, step, minDelay, maxDelay sim.Time) []LagPoint {
 
+	// Degenerate intervals would divide by zero in the bucket arithmetic
+	// (and a zero step would loop forever); there is no meaningful curve.
+	if meterInterval <= 0 || modelInterval <= 0 {
+		return nil
+	}
 	if step <= 0 {
 		step = modelInterval
 	}
 	var curve []LagPoint
-	for d := minDelay; d <= maxDelay; d += step {
+	for d := minDelay; d <= maxDelay; {
 		var raw, sx, sy, sxy, sxx, syy float64
 		n := 0
 		for _, s := range measured {
@@ -93,6 +98,11 @@ func CorrelationCurve(measured []power.Sample, idleW float64, meterInterval sim.
 			}
 		}
 		curve = append(curve, LagPoint{Delay: d, Raw: raw, Normalized: norm})
+		next := d + step
+		if next <= d { // overflow guard: a huge step must still terminate
+			break
+		}
+		d = next
 	}
 	return curve
 }

@@ -1,0 +1,90 @@
+package align
+
+import (
+	"math"
+	"testing"
+
+	"powercontainers/internal/power"
+	"powercontainers/internal/sim"
+)
+
+// FuzzCrossCorrelation drives CorrelationCurve and EstimateDelay with
+// arbitrary finite sample sets and degenerate interval/step/delay
+// combinations. The harness asserts the properties the recalibration
+// pipeline depends on: the call terminates (no zero-step or overflow
+// loops), never panics or divides by zero, and every normalized
+// correlation stays within [-1, 1].
+func FuzzCrossCorrelation(f *testing.F) {
+	f.Add([]byte{10, 50, 20, 90, 30, 10, 40, 70}, int64(sim.Second), int64(sim.Millisecond),
+		int64(sim.Millisecond), int64(0), int64(100*sim.Millisecond), 10.0)
+	// Degenerate intervals: used to loop forever / divide by zero.
+	f.Add([]byte{1, 2, 3}, int64(sim.Second), int64(0), int64(0), int64(-5), int64(5), 0.0)
+	f.Add([]byte{}, int64(0), int64(-3), int64(1), int64(0), int64(0), 0.0)
+	// Extreme lag range: the loop increment must not overflow.
+	f.Add([]byte{255, 0, 128, 7}, int64(sim.Second), int64(sim.Millisecond),
+		int64(math.MaxInt64/2), int64(math.MinInt64/4), int64(math.MaxInt64/4), -2.5)
+	f.Fuzz(func(t *testing.T, data []byte, meterIv, modelIv, step, minD, maxD int64, idleW float64) {
+		if math.IsNaN(idleW) || math.IsInf(idleW, 0) {
+			idleW = 0
+		}
+		const limT = int64(1e15)
+		clamp := func(v, lim int64) int64 {
+			if v > lim || v < -lim {
+				return v % lim
+			}
+			return v
+		}
+		minD = clamp(minD, limT)
+		maxD = clamp(maxD, limT)
+		meterIv = clamp(meterIv, int64(10*sim.Second))
+		modelIv = clamp(modelIv, int64(10*sim.Second))
+		step = clamp(step, int64(10*sim.Second))
+		// Keep the curve small for fuzzing throughput: force the step to
+		// cover the lag range in at most 1024 hops (zero/negative steps
+		// stay as-is to exercise the library's own guards).
+		if maxD > minD {
+			minStep := (maxD - minD) / 1024
+			if step > 0 && step < minStep {
+				step = minStep
+			}
+			if step <= 0 && modelIv > 0 && modelIv < minStep {
+				step = minStep
+			}
+		}
+
+		var measured []power.Sample
+		arrival := int64(0)
+		for i := 0; i+1 < len(data) && len(measured) < 64; i += 2 {
+			arrival += int64(data[i])*int64(sim.Millisecond) + 1
+			measured = append(measured, power.Sample{
+				Arrival: arrival,
+				Watts:   float64(int8(data[i+1])),
+			})
+		}
+		modelPower := make([]float64, 0, 256)
+		for i := 0; i < len(data) && i < 256; i++ {
+			modelPower = append(modelPower, float64(int8(data[i])))
+		}
+
+		curve := CorrelationCurve(measured, idleW, meterIv, modelPower, modelIv, step, minD, maxD)
+		if len(curve) > 1030 {
+			t.Fatalf("curve has %d points, expected at most ~1025", len(curve))
+		}
+		for _, p := range curve {
+			if math.IsNaN(p.Normalized) || p.Normalized < -1-1e-9 || p.Normalized > 1+1e-9 {
+				t.Fatalf("normalized correlation %v outside [-1, 1] at delay %d", p.Normalized, p.Delay)
+			}
+			if math.IsNaN(p.Raw) || math.IsInf(p.Raw, 0) {
+				t.Fatalf("non-finite raw correlation at delay %d", p.Delay)
+			}
+			if p.Delay < minD || p.Delay > maxD {
+				t.Fatalf("curve point at delay %d outside [%d, %d]", p.Delay, minD, maxD)
+			}
+		}
+		if d, err := EstimateDelay(curve); err == nil {
+			if d < minD || d > maxD {
+				t.Fatalf("estimated delay %d outside scanned range [%d, %d]", d, minD, maxD)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package align
+
+import (
+	"testing"
+
+	"powercontainers/internal/power"
+	"powercontainers/internal/sim"
+)
+
+// TestMeterDelayRecovery is the property behind Figure 2: for a meter whose
+// readings are true window averages of the modeled power delivered after an
+// unknown fixed delay, cross-correlation over hypothetical delays must peak
+// at the true delay. With i.i.d. random model buckets the aligned hypothesis
+// correlates perfectly and every misaligned one decorrelates, so the
+// estimate should be exact at the scan resolution.
+func TestMeterDelayRecovery(t *testing.T) {
+	const (
+		modelInterval = sim.Millisecond
+		meterInterval = 10 * sim.Millisecond
+		buckets       = 2000
+		idleW         = 35.0
+		step          = sim.Millisecond
+	)
+	for _, seed := range []uint64{1, 7, 42} {
+		for _, trueDelay := range []sim.Time{0, 37 * sim.Millisecond, 250 * sim.Millisecond} {
+			rng := sim.NewRand(seed)
+			modelPower := make([]float64, buckets)
+			for i := range modelPower {
+				modelPower[i] = 20 * rng.Float64()
+			}
+
+			var measured []power.Sample
+			horizon := sim.Time(buckets) * modelInterval
+			for end := meterInterval; end+trueDelay <= horizon; end += meterInterval {
+				mp, ok := modelWindowMean(modelPower, modelInterval, end-meterInterval, end)
+				if !ok {
+					t.Fatalf("seed %d: window ending %s not covered", seed, sim.FormatTime(end))
+				}
+				measured = append(measured, power.Sample{
+					Arrival: end + trueDelay,
+					Watts:   idleW + mp,
+				})
+			}
+
+			curve := CorrelationCurve(measured, idleW, meterInterval,
+				modelPower, modelInterval, step, 0, 400*sim.Millisecond)
+			got, err := EstimateDelay(curve)
+			if err != nil {
+				t.Fatalf("seed %d delay %s: EstimateDelay: %v",
+					seed, sim.FormatTime(trueDelay), err)
+			}
+			if got != trueDelay {
+				t.Errorf("seed %d: recovered delay %s, want %s",
+					seed, sim.FormatTime(got), sim.FormatTime(trueDelay))
+			}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/sim"
+)
+
+// countCheck returns how many recorded violations belong to one invariant.
+func countCheck(a *Auditor, check string) int {
+	n := 0
+	for _, v := range a.Violations() {
+		if v.Check == check {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCleanAuditorHasNoError(t *testing.T) {
+	a := New("clean")
+	a.OnStep(0, sim.Millisecond, 1)
+	a.OnStep(sim.Millisecond, sim.Millisecond, 2)
+	a.OnSockEnqueue("buf", 1, 100, "ctx")
+	a.OnSockDeliver("buf", 1, 100, "ctx")
+	a.OnRecord("core", 0, sim.Millisecond, 0.5)
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean auditor reported error: %v", err)
+	}
+}
+
+func TestSimOrderDetection(t *testing.T) {
+	a := New("t")
+	a.OnStep(0, 2*sim.Millisecond, 1)
+	// Clock at 2 ms, event stamped 1 ms: time went backwards.
+	a.OnStep(2*sim.Millisecond, sim.Millisecond, 2)
+	if got := countCheck(a, "sim-order"); got != 1 {
+		t.Fatalf("backward time: %d sim-order violations, want 1", got)
+	}
+
+	b := New("t")
+	b.OnStep(0, sim.Millisecond, 5)
+	// Same instant, lower sequence number: FIFO order broken.
+	b.OnStep(sim.Millisecond, sim.Millisecond, 3)
+	if got := countCheck(b, "sim-order"); got != 1 {
+		t.Fatalf("seq regression: %d sim-order violations, want 1", got)
+	}
+}
+
+func TestSocketTagDetection(t *testing.T) {
+	buf := "conn-a"
+
+	t.Run("deliver without enqueue", func(t *testing.T) {
+		a := New("t")
+		a.OnSockDeliver(buf, 7, 10, "ctx")
+		if countCheck(a, "socket-tags") != 1 {
+			t.Fatal("orphan delivery not detected")
+		}
+	})
+	t.Run("double enqueue", func(t *testing.T) {
+		a := New("t")
+		a.OnSockEnqueue(buf, 1, 10, "ctx")
+		a.OnSockEnqueue(buf, 1, 10, "ctx")
+		if countCheck(a, "socket-tags") != 1 {
+			t.Fatal("duplicate enqueue not detected")
+		}
+	})
+	t.Run("tag mutated in flight", func(t *testing.T) {
+		a := New("t")
+		a.OnSockEnqueue(buf, 1, 10, "ctx-a")
+		a.OnSockDeliver(buf, 1, 10, "ctx-b")
+		if countCheck(a, "socket-tags") != 1 {
+			t.Fatal("tag mutation not detected")
+		}
+	})
+	t.Run("size mutated in flight", func(t *testing.T) {
+		a := New("t")
+		a.OnSockEnqueue(buf, 1, 10, "ctx")
+		a.OnSockDeliver(buf, 1, 99, "ctx")
+		if countCheck(a, "socket-tags") != 1 {
+			t.Fatal("size mutation not detected")
+		}
+	})
+	t.Run("reordered delivery", func(t *testing.T) {
+		a := New("t")
+		a.OnSockEnqueue(buf, 1, 10, "ctx")
+		a.OnSockEnqueue(buf, 2, 10, "ctx")
+		a.OnSockDeliver(buf, 2, 10, "ctx")
+		a.OnSockDeliver(buf, 1, 10, "ctx")
+		if countCheck(a, "socket-tags") != 1 {
+			t.Fatal("out-of-order delivery not detected")
+		}
+	})
+	t.Run("independent buffers do not interfere", func(t *testing.T) {
+		a := New("t")
+		a.OnSockEnqueue("conn-a", 1, 10, "ctx")
+		a.OnSockEnqueue("conn-b", 2, 20, "ctx")
+		a.OnSockDeliver("conn-b", 2, 20, "ctx")
+		a.OnSockDeliver("conn-a", 1, 10, "ctx")
+		if err := a.Err(); err != nil {
+			t.Fatalf("cross-buffer ordering falsely flagged: %v", err)
+		}
+	})
+}
+
+func TestLifecycleDetection(t *testing.T) {
+	t.Run("attribution after final release", func(t *testing.T) {
+		a := New("t")
+		c := &core.Container{ID: 1, Label: "req-1", Kind: core.KindRequest, Released: true}
+		a.OnPeriod(c, "srv", 0, sim.Millisecond, 0.01, 0.001, 0.5)
+		if countCheck(a, "lifecycle") != 1 {
+			t.Fatal("attribution after release not detected")
+		}
+	})
+	t.Run("device attribution after final release", func(t *testing.T) {
+		a := New("t")
+		c := &core.Container{ID: 1, Label: "req-1", Kind: core.KindRequest, Released: true}
+		a.OnDevicePeriod(c, 0, sim.Millisecond, 0.01)
+		if countCheck(a, "lifecycle") != 1 {
+			t.Fatal("device attribution after release not detected")
+		}
+	})
+	t.Run("retain after final release", func(t *testing.T) {
+		a := New("t")
+		c := &core.Container{ID: 2, Label: "req-2", Kind: core.KindRequest, Released: true}
+		a.OnRetain(c)
+		if countCheck(a, "lifecycle") != 1 {
+			t.Fatal("retain after release not detected")
+		}
+	})
+	t.Run("background exempt from release rules", func(t *testing.T) {
+		a := New("t")
+		c := &core.Container{ID: 0, Label: "background", Kind: core.KindBackground}
+		a.OnRetain(c)
+		a.OnPeriod(c, "idle", 0, sim.Millisecond, 0.01, 0, 0)
+		if err := a.Err(); err != nil {
+			t.Fatalf("background container falsely flagged: %v", err)
+		}
+	})
+}
+
+func TestPeriodSanityDetection(t *testing.T) {
+	c := &core.Container{ID: 1, Label: "req-1", Kind: core.KindRequest}
+
+	a := New("t")
+	a.OnPeriod(c, "srv", 2*sim.Millisecond, sim.Millisecond, 0.01, 0, 0.5)
+	if countCheck(a, "energy-conservation") != 1 {
+		t.Fatal("reversed period not detected")
+	}
+
+	a = New("t")
+	// Negative energy also breaks the chip-energy ≤ period-energy bound,
+	// so two conservation violations fire.
+	a.OnPeriod(c, "srv", 0, sim.Millisecond, -0.01, 0, 0.5)
+	if countCheck(a, "energy-conservation") != 2 {
+		t.Fatal("negative period energy not detected")
+	}
+
+	a = New("t")
+	a.OnPeriod(c, "srv", 0, sim.Millisecond, 0.01, 0.02, 0.5)
+	if countCheck(a, "energy-conservation") != 1 {
+		t.Fatal("chip energy above period energy not detected")
+	}
+
+	a = New("t")
+	a.OnPeriod(c, "srv", 0, sim.Millisecond, 0.01, 0.001, 1.5)
+	if countCheck(a, "chip-share") != 1 {
+		t.Fatal("Eq. 3 share above 1 not detected")
+	}
+}
+
+func TestRecorderDetection(t *testing.T) {
+	a := New("t")
+	a.OnRecord("core", 0, sim.Millisecond, -0.5)
+	if countCheck(a, "recorder") != 1 {
+		t.Fatal("negative record not detected")
+	}
+	if a.recordedTotal != 0 {
+		t.Fatal("negative record leaked into the total")
+	}
+
+	a = New("t")
+	a.OnRecord("device", 2*sim.Millisecond, sim.Millisecond, 0.5)
+	if countCheck(a, "recorder") != 1 {
+		t.Fatal("reversed record interval not detected")
+	}
+}
+
+func TestViolationBoundAndErrSummary(t *testing.T) {
+	a := New("bound")
+	for i := 0; i < maxViolations+10; i++ {
+		a.OnRecord("core", 0, sim.Millisecond, -1)
+	}
+	if got := len(a.Violations()); got != maxViolations {
+		t.Fatalf("stored %d violations, want cap %d", got, maxViolations)
+	}
+	if a.dropped != 10 {
+		t.Fatalf("dropped counter %d, want 10", a.dropped)
+	}
+	err := a.Err()
+	if err == nil {
+		t.Fatal("Err returned nil with violations present")
+	}
+	if !strings.Contains(err.Error(), "audit[bound]") {
+		t.Fatalf("error missing label: %v", err)
+	}
+	// The summary includes the dropped count in the total.
+	if !strings.Contains(err.Error(), "74 violation(s)") {
+		t.Fatalf("error does not count dropped violations: %v", err)
+	}
+}

@@ -1,0 +1,79 @@
+package calib
+
+import (
+	"math"
+	"testing"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/power"
+)
+
+// TestCalibrationSeedRobustness recalibrates the same machine under several
+// seeds — different microbenchmark interleavings, hence differently noisy
+// counter samples — and checks the fitted model stays stable: every seed
+// must recover the hidden core coefficient within the same band, Eq. 2 must
+// always out-fit Eq. 1, and the coefficient spread across seeds must stay
+// small relative to the coefficient itself. A fit that only works at seed 1
+// would be curve-fitting the noise, not the power model.
+func TestCalibrationSeedRobustness(t *testing.T) {
+	p := power.MustProfile(cpu.SandyBridge)
+	seeds := []uint64{1, 2, 5, 9}
+	var cores, chips []float64
+	for _, seed := range seeds {
+		cfg := fastConfig()
+		cfg.Seed = seed
+		res, err := Calibrate(cpu.SandyBridge, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.FitErrEq2 >= res.FitErrEq1 {
+			t.Errorf("seed %d: Eq2 fit %.3f not better than Eq1 %.3f",
+				seed, res.FitErrEq2, res.FitErrEq1)
+		}
+		if math.Abs(res.Eq2.Core-p.CoreW) > 0.35*p.CoreW {
+			t.Errorf("seed %d: core coefficient %.2f far from hidden %.2f",
+				seed, res.Eq2.Core, p.CoreW)
+		}
+		if res.FitErrEq2 > 0.10 {
+			t.Errorf("seed %d: fit error %.1f%% too high", seed, 100*res.FitErrEq2)
+		}
+		cores = append(cores, res.Eq2.Core)
+		chips = append(chips, res.Eq2.Chip)
+	}
+	spread := func(xs []float64) float64 {
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs[1:] {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return (hi - lo) / math.Max(math.Abs(lo), 1e-9)
+	}
+	if s := spread(cores); s > 0.25 {
+		t.Errorf("core coefficient spread %.1f%% across seeds (%v)", 100*s, cores)
+	}
+	if s := spread(chips); s > 0.60 {
+		t.Errorf("chip coefficient spread %.1f%% across seeds (%v)", 100*s, chips)
+	}
+}
+
+// TestCalibrationLongerWindowsTightenFit doubles warmup and measurement
+// windows and checks the fit does not get worse: more averaging over the
+// same stationary workloads can only reduce meter-window noise.
+func TestCalibrationLongerWindowsTightenFit(t *testing.T) {
+	short, err := Calibrate(cpu.Woodcrest, fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := fastConfig()
+	long.WarmupSec = 2.0
+	long.WindowSec = 2.0
+	res, err := Calibrate(cpu.Woodcrest, long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow a small epsilon: the fit is already near its floor and window
+	// boundaries shift which scheduler periods land inside.
+	if res.FitErrEq2 > short.FitErrEq2+0.01 {
+		t.Errorf("longer windows worsened fit: %.4f -> %.4f",
+			short.FitErrEq2, res.FitErrEq2)
+	}
+}

@@ -143,11 +143,14 @@ type Dispatcher struct {
 }
 
 // CompletedRequest records one finished request and the app and node it
-// belonged to.
+// belonged to. RequestID links the request back to its ledger entry, so
+// the dispatcher-side accounting can be reconciled against the executing
+// machine's container.
 type CompletedRequest struct {
-	App  string
-	Node int
-	Req  *server.Request
+	App       string
+	Node      int
+	RequestID uint64
+	Req       *server.Request
 }
 
 // NewDispatcher assembles a dispatcher.
@@ -391,7 +394,7 @@ func (d *Dispatcher) Dispatch(app *App) {
 	d.perApp[node][app.Name]++
 	machine := n.K.Name()
 	n.Gens[app.Name].InjectPrepared(req, func(r *server.Request) {
-		d.completed = append(d.completed, CompletedRequest{App: app.Name, Node: node, Req: r})
+		d.completed = append(d.completed, CompletedRequest{App: app.Name, Node: node, RequestID: tag.RequestID, Req: r})
 		// Response message tagged with cumulative usage (§3.4).
 		if err := d.Ledger.Close(responseTag(tag, machine, r), d.Eng.Now()); err != nil {
 			panic(err)

@@ -47,8 +47,21 @@ func (e *LedgerEntry) ResponseTime() sim.Time {
 	return e.Done - e.Arrive
 }
 
+// AuditSink observes ledger activity for invariant checking
+// (internal/audit). A nil sink — the default — disables auditing.
+type AuditSink interface {
+	// OnLedgerOpen fires when an outbound request is registered.
+	OnLedgerOpen(tag ContainerTag, now sim.Time)
+	// OnLedgerClose fires when a response tag folds into the ledger;
+	// alreadyFinished flags a double close of the same request.
+	OnLedgerClose(tag ContainerTag, alreadyFinished bool, now sim.Time)
+}
+
 // Ledger aggregates cross-machine request accounting at the dispatcher.
 type Ledger struct {
+	// Audit observes open/close activity; nil disables.
+	Audit AuditSink
+
 	entries map[uint64]*LedgerEntry
 	nextID  uint64
 }
@@ -63,6 +76,9 @@ func (l *Ledger) Open(app string, powerTargetW float64, now sim.Time) ContainerT
 	l.nextID++
 	tag := ContainerTag{RequestID: l.nextID, App: app, PowerTargetW: powerTargetW}
 	l.entries[tag.RequestID] = &LedgerEntry{Tag: tag, Arrive: now}
+	if l.Audit != nil {
+		l.Audit.OnLedgerOpen(tag, now)
+	}
 	return tag
 }
 
@@ -72,6 +88,9 @@ func (l *Ledger) Close(tag ContainerTag, now sim.Time) error {
 	e, ok := l.entries[tag.RequestID]
 	if !ok {
 		return fmt.Errorf("cluster: response for unknown request %d", tag.RequestID)
+	}
+	if l.Audit != nil {
+		l.Audit.OnLedgerClose(tag, e.Finished, now)
 	}
 	e.Tag.Machine = tag.Machine
 	e.Tag.CPUTime = tag.CPUTime

@@ -75,6 +75,26 @@ type Config struct {
 	UseOracleChipShare bool
 }
 
+// AuditHook observes attribution and container lifecycle events for
+// runtime invariant checking (internal/audit). Callbacks run synchronously
+// inside the facility's monitor paths; a nil hook — the default — costs
+// only a nil check.
+type AuditHook interface {
+	// OnPeriod fires after one sampling period [start, end) on a core is
+	// attributed to container c while a task named task was bound to it.
+	// energyJ is the period's modeled CPU energy, chipEnergyJ the chip-
+	// maintenance portion of it, and chipShare the Eq. 3 estimate used
+	// (0 under the core-only approach or an idle period).
+	OnPeriod(c *Container, task string, start, end sim.Time, energyJ, chipEnergyJ, chipShare float64)
+	// OnDevicePeriod fires when device energy over [start, end) is
+	// attributed to container c.
+	OnDevicePeriod(c *Container, start, end sim.Time, energyJ float64)
+	// OnRetain and OnRelease fire after container c gains or drops a
+	// task reference.
+	OnRetain(c *Container)
+	OnRelease(c *Container)
+}
+
 // coreState is the facility's per-core sampling baseline.
 type coreState struct {
 	valid    bool
@@ -90,6 +110,8 @@ type Facility struct {
 	Coeff model.Coefficients
 	// Background absorbs activity with no request binding.
 	Background *Container
+	// Audit observes attribution and lifecycle events; nil disables.
+	Audit AuditHook
 
 	cfg        Config
 	maint      cpu.Counters
@@ -242,6 +264,9 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 			name = t.Name
 		}
 		cont.addPeriod(name, now, wall, delta, p*seconds, chipP*seconds, p, c.DutyFraction())
+		if f.Audit != nil {
+			f.Audit.OnPeriod(cont, name, st.lastTime, now, p*seconds, chipP*seconds, m.Chip)
+		}
 		f.metrics.AddSpread(st.lastTime, now, m)
 		f.hookAnomaly(c, t, p-chipP)
 	}
@@ -315,9 +340,9 @@ func (f *Facility) OnBind(t *kernel.Task, newCtx kernel.Context) {
 		f.samplePeriod(f.K.Cores[core], t)
 	}
 	old := f.containerOf(t)
-	old.release()
+	f.releaseRef(old)
 	if nc, ok := newCtx.(*Container); ok && nc != nil {
-		nc.retain()
+		f.retainRef(nc)
 		nc.addTrace(f.K.Now(), TraceBind, t.Name, fmt.Sprintf("from %s", old.Label))
 		// Re-apply conditioning for the new binding if running.
 		if f.cond != nil {
@@ -339,19 +364,36 @@ func (f *Facility) OnFork(parent, child *kernel.Task) {
 func (f *Facility) OnExit(t *kernel.Task) {
 	cont := f.containerOf(t)
 	cont.addTrace(f.K.Now(), TraceExit, t.Name, "")
-	cont.release()
+	f.releaseRef(cont)
 }
 
 // OnTaskStart implements kernel.Monitor: account the new task reference.
 func (f *Facility) OnTaskStart(t *kernel.Task) {
-	f.containerOf(t).retain()
+	f.retainRef(f.containerOf(t))
+}
+
+// retainRef and releaseRef route reference-count changes through the audit
+// hook so lifecycle legality (§3.5) is checkable at runtime.
+func (f *Facility) retainRef(c *Container) {
+	c.retain()
+	if f.Audit != nil {
+		f.Audit.OnRetain(c)
+	}
+}
+
+func (f *Facility) releaseRef(c *Container) {
+	c.release()
+	if f.Audit != nil {
+		f.Audit.OnRelease(c)
+	}
 }
 
 // OnIO implements kernel.Monitor: attribute device energy to the
 // responsible request and record device utilization in the metric series.
 func (f *Facility) OnIO(t *kernel.Task, dev kernel.DeviceKind, bytes int64, busy sim.Time, watts float64) {
 	cont := f.containerOf(t)
-	cont.DeviceEnergyJ += watts * float64(busy) / float64(sim.Second)
+	joules := watts * float64(busy) / float64(sim.Second)
+	cont.DeviceEnergyJ += joules
 	cont.addTrace(f.K.Now(), TraceIO, t.Name, fmt.Sprintf("%s %dB", dev, bytes))
 	var m model.Metrics
 	if dev == kernel.DeviceDisk {
@@ -363,6 +405,9 @@ func (f *Facility) OnIO(t *kernel.Task, dev kernel.DeviceKind, bytes int64, busy
 	start := end - busy
 	if start < 0 {
 		start = 0
+	}
+	if f.Audit != nil {
+		f.Audit.OnDevicePeriod(cont, start, end, joules)
 	}
 	f.metrics.AddSpread(start, end, m)
 }

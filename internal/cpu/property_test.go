@@ -1,0 +1,50 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"powercontainers/internal/sim"
+)
+
+// TestWallForMonotoneInDuty checks the property the §3.5 duty-cycle power
+// capping loop relies on: lowering the modulation level never makes a fixed
+// amount of work finish sooner, and raising it never makes it slower. Any
+// violation would let the capping controller oscillate.
+func TestWallForMonotoneInDuty(t *testing.T) {
+	core := NewCore(0, SandyBridge)
+	prop := func(rawCycles uint32, rawLo, rawHi uint8) bool {
+		cycles := float64(rawCycles) + 1
+		lo := int(rawLo)%core.DutyMax() + 1
+		hi := int(rawHi)%core.DutyMax() + 1
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		core.SetDutyLevel(lo)
+		wallLo := core.WallFor(cycles)
+		core.SetDutyLevel(hi)
+		wallHi := core.WallFor(cycles)
+		// Lower level ⇒ smaller duty fraction ⇒ at least as much wall time.
+		return wallLo >= wallHi && wallHi >= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCyclesInWallForInverse checks the round-trip bound at every duty
+// level: WallFor(CyclesIn(w)) reproduces the wall time up to the 1 ns
+// ceiling WallFor applies.
+func TestCyclesInWallForInverse(t *testing.T) {
+	core := NewCore(0, Woodcrest)
+	prop := func(rawWall uint32, rawLevel uint8) bool {
+		wall := sim.Time(rawWall) + 1
+		core.SetDutyLevel(int(rawLevel)%core.DutyMax() + 1)
+		back := core.WallFor(core.CyclesIn(wall))
+		diff := back - wall
+		return diff >= 0 && diff <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/workload"
+)
+
+// TestAuditedRunIsClean runs a full machine workload with the auditor
+// attached and requires a clean bill: energy conservation, lifecycle,
+// socket tagging and sim ordering all hold on the real simulation paths.
+func TestAuditedRunIsClean(t *testing.T) {
+	EnableAudit()
+	defer DisableAudit()
+
+	m, err := NewMachine(cpu.SandyBridge, core.ApproachChipShare, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Audit == nil {
+		t.Fatal("EnableAudit did not attach an auditor to the machine")
+	}
+	if _, err := RunOn(m, RunSpec{
+		Workload: workload.Stress{},
+		Load:     HalfLoad,
+		Window:   4 * sim.Second,
+	}); err != nil {
+		t.Fatalf("audited run: %v", err)
+	}
+	// RunOn already finalized; re-finalizing must stay clean too.
+	if err := m.FinalizeAudit(); err != nil {
+		t.Fatalf("audit violations on a clean run: %v", err)
+	}
+	if vs := AuditViolations(); len(vs) != 0 {
+		t.Fatalf("registry reports %d violations: %v", len(vs), vs)
+	}
+}
+
+// TestAuditCatchesTamperedGroundTruth injects a bogus ground-truth energy
+// record after a clean run and checks the reconciliation trips: the
+// streamed record total no longer matches the recorder series, and the
+// attributed energy no longer reconciles with ground truth.
+func TestAuditCatchesTamperedGroundTruth(t *testing.T) {
+	EnableAudit()
+	defer DisableAudit()
+
+	m, err := NewMachine(cpu.SandyBridge, core.ApproachChipShare, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunOn(m, RunSpec{
+		Workload: workload.Stress{},
+		Load:     HalfLoad,
+		Window:   2 * sim.Second,
+	}); err != nil {
+		t.Fatalf("audited run: %v", err)
+	}
+	// A record stream entry with no matching recorder series write is
+	// exactly what a broken accounting path would produce.
+	m.Audit.OnRecord("core", 0, sim.Millisecond, 1e6)
+	err = m.FinalizeAudit()
+	if err == nil {
+		t.Fatal("tampered ground truth passed the audit")
+	}
+	if !strings.Contains(err.Error(), "recorder") {
+		t.Fatalf("tampering not attributed to the recorder check: %v", err)
+	}
+}

@@ -96,12 +96,14 @@ func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (
 
 	var nodes []*cluster.Node
 	var meters []*power.WattsupMeter
+	var machines []*Machine
 	deps := make([]map[string]*server.Deployment, len(specs))
 	for i, spec := range specs {
 		m, err := NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*29)
 		if err != nil {
 			return nil, err
 		}
+		machines = append(machines, m)
 		deps[i] = map[string]*server.Deployment{}
 		node := cluster.NewNode(m.K, m.Fac, apps, func(app *cluster.App, k *kernel.Kernel) *server.Deployment {
 			dep := wls[app.Name].Deploy(k, m.Rng.Fork(uint64(len(app.Name))))
@@ -120,6 +122,10 @@ func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (
 	}
 
 	d := cluster.NewDispatcher(eng, nodes, apps, pol)
+	laud := newAuditor(fmt.Sprintf("cluster3/%s", pol))
+	if laud != nil {
+		d.Ledger.Audit = laud
+	}
 
 	// Offered volume: under simple balance every node takes a third of
 	// each app's volume; the slow Woodcrest saturates first.
@@ -136,6 +142,18 @@ func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (
 	)
 	d.RunOpenLoop(rates, until, rng)
 	eng.RunUntil(until + 3*sim.Second)
+
+	for _, m := range machines {
+		if err := m.FinalizeAudit(); err != nil {
+			return nil, err
+		}
+	}
+	if laud != nil {
+		laud.CheckLedger(d.Ledger, d.Completed(), eng.Now())
+		if err := laud.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	out := &Fig14Policy{Policy: pol, RespMs: d.ResponseTimes(), Dispatched: d.DispatchCounts()}
 	for _, meter := range meters {

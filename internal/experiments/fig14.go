@@ -109,6 +109,7 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 
 	var nodes []*cluster.Node
 	var meters []*power.WattsupMeter
+	var machines []*Machine
 	deps := make([]map[string]*server.Deployment, len(specs))
 
 	wls := map[string]workload.Workload{
@@ -138,6 +139,7 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 		node.ReservedUtil = workload.GAEBackgroundCoreDemand(spec) / float64(spec.Cores())
 		nodes = append(nodes, node)
 		meters = append(meters, m.Wattsup)
+		machines = append(machines, m)
 	}
 
 	// Per-node service demands and the request factories (payloads are
@@ -150,6 +152,10 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 	}
 
 	d := cluster.NewDispatcher(eng, nodes, apps, pol)
+	laud := newAuditor(fmt.Sprintf("cluster/%s", pol))
+	if laud != nil {
+		d.Ledger.Audit = laud
+	}
 
 	// Offered volume: the maximum supportable under simple load balance —
 	// the Woodcrest machine saturates first at half of each app's volume
@@ -168,6 +174,18 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 	)
 	d.RunOpenLoop(rates, until, rng)
 	eng.RunUntil(until + 3*sim.Second)
+
+	for _, m := range machines {
+		if err := m.FinalizeAudit(); err != nil {
+			return nil, err
+		}
+	}
+	if laud != nil {
+		laud.CheckLedger(d.Ledger, d.Completed(), eng.Now())
+		if err := laud.Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	out := &Fig14Policy{Policy: pol, RespMs: d.ResponseTimes(), Dispatched: d.DispatchCounts()}
 	for _, meter := range meters {

@@ -6,8 +6,10 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
+	"powercontainers/internal/audit"
 	"powercontainers/internal/calib"
 	"powercontainers/internal/core"
 	"powercontainers/internal/cpu"
@@ -18,6 +20,66 @@ import (
 	"powercontainers/internal/sim"
 	"powercontainers/internal/workload"
 )
+
+// auditState gates runtime invariant auditing for every machine this
+// package assembles. Auditing is off by default (zero overhead beyond nil
+// checks); tests enable it with EnableAudit, and setting PC_AUDIT=1 in
+// the environment turns it on for a whole test run.
+var auditState struct {
+	sync.Mutex
+	enabled  bool
+	auditors []*audit.Auditor
+}
+
+func init() {
+	switch os.Getenv("PC_AUDIT") {
+	case "", "0", "false", "off":
+		// disabled
+	default:
+		auditState.enabled = true
+	}
+}
+
+// EnableAudit turns on invariant auditing for machines assembled from now
+// on and clears previously collected auditors.
+func EnableAudit() {
+	auditState.Lock()
+	defer auditState.Unlock()
+	auditState.enabled = true
+	auditState.auditors = nil
+}
+
+// DisableAudit turns auditing back off and clears collected auditors.
+func DisableAudit() {
+	auditState.Lock()
+	defer auditState.Unlock()
+	auditState.enabled = false
+	auditState.auditors = nil
+}
+
+// AuditViolations returns every violation collected since auditing was
+// enabled, across all audited machines.
+func AuditViolations() []audit.Violation {
+	auditState.Lock()
+	defer auditState.Unlock()
+	var out []audit.Violation
+	for _, a := range auditState.auditors {
+		out = append(out, a.Violations()...)
+	}
+	return out
+}
+
+// newAuditor registers a fresh auditor when auditing is enabled, else nil.
+func newAuditor(label string) *audit.Auditor {
+	auditState.Lock()
+	defer auditState.Unlock()
+	if !auditState.enabled {
+		return nil
+	}
+	a := audit.New(label)
+	auditState.auditors = append(auditState.auditors, a)
+	return a
+}
 
 // calibCache memoizes offline calibration per machine: it is a controlled
 // one-time procedure in the paper too ("performed once for each target
@@ -55,6 +117,18 @@ type Machine struct {
 	Chip    *power.ChipMeter
 	Calib   *calib.Result
 	Rng     *sim.Rand
+	// Audit is the machine's invariant auditor when auditing is enabled
+	// (EnableAudit or PC_AUDIT=1), nil otherwise.
+	Audit *audit.Auditor
+}
+
+// FinalizeAudit runs the machine's end-of-run audit checks, returning
+// their violations as an error. It is a no-op without an attached auditor.
+func (m *Machine) FinalizeAudit() error {
+	if m.Audit == nil {
+		return nil
+	}
+	return m.Audit.FinalizeMachine()
 }
 
 // NewMachine assembles a machine with the given attribution approach.
@@ -104,6 +178,10 @@ func NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.App
 		} else {
 			fac.EnableRecalibration(m.Wattsup, model.ScopeMachine, cal.Samples, 0)
 		}
+	}
+	if a := newAuditor(fmt.Sprintf("%s/%s", spec.Name, approach)); a != nil {
+		a.AttachMachine(fac)
+		m.Audit = a
 	}
 	return m, nil
 }
@@ -233,6 +311,10 @@ func RunOn(m *Machine, rs RunSpec) (*RunResult, error) {
 	})
 	// Run past t1 so delayed meter samples are delivered.
 	m.Eng.RunUntil(t1 + 3*sim.Second)
+
+	if err := m.FinalizeAudit(); err != nil {
+		return nil, err
+	}
 
 	windowSec := float64(t1-t0) / float64(sim.Second)
 	measured, err := wattsupWindowMean(m.Wattsup, m.Eng.Now(), t0, t1)

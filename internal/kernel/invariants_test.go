@@ -55,6 +55,13 @@ func randomProgram(rng *sim.Rand, depth int, conns []*Endpoint) Program {
 			}
 		}
 	}
+	if depth == 0 {
+		// A sleep/fork-only mix is legal but accrues zero busy time,
+		// which would make the busy-time conservation check vacuous
+		// (quick input 0x7cdd generated exactly that); anchor every
+		// top-level task with a small compute op.
+		ops = append(ops, OpCompute{BaseCycles: 1e3, Act: cpu.Activity{IPC: 1}})
+	}
 	return Script(ops...)
 }
 

@@ -23,6 +23,11 @@ type Kernel struct {
 	Disk    *Device
 	Net     *Device
 
+	// Audit observes socket segment flow for invariant checking
+	// (internal/audit). Nil — the default — disables auditing; the hot
+	// paths then pay only a nil check.
+	Audit AuditSink
+
 	// PerSegmentTagging selects the paper's safe per-segment socket
 	// context tagging (true, the default) or the naive single-tag-per-
 	// socket scheme it warns against (false; ablation only).
@@ -39,6 +44,7 @@ type Kernel struct {
 	Quantum sim.Time
 
 	name     string
+	segSeq   uint64 // audit-only segment identity counter
 	running  []*Task
 	runq     [][]*Task
 	segStart []sim.Time
@@ -148,11 +154,21 @@ func (k *Kernel) Inject(l *Listener, bytes int, ctx Context, payload any) {
 		l.waiting = l.waiting[1:]
 		w.blockedLst = nil
 		w.LastRecv = payload
+		if k.Audit != nil {
+			seq := k.nextSegSeq()
+			k.Audit.OnSockEnqueue(l, seq, bytes, ctx)
+			k.Audit.OnSockDeliver(l, seq, bytes, ctx)
+		}
 		k.applyBinding(w, ctx)
 		k.wake(w)
 		return
 	}
-	l.segs = append(l.segs, segment{bytes: bytes, ctx: ctx, payload: payload})
+	seg := segment{bytes: bytes, ctx: ctx, payload: payload}
+	if k.Audit != nil {
+		seg.seq = k.nextSegSeq()
+		k.Audit.OnSockEnqueue(l, seg.seq, bytes, ctx)
+	}
+	l.segs = append(l.segs, seg)
 }
 
 // Rebind changes a task's context binding through the monitor, exactly as
@@ -375,6 +391,9 @@ func (k *Kernel) advanceProgram(c int, t *Task) {
 			if !buf.empty() {
 				seg := buf.pop()
 				t.LastRecv = seg.payload
+				if k.Audit != nil {
+					k.Audit.OnSockDeliver(buf, seg.seq, seg.bytes, seg.ctx)
+				}
 				k.applyBinding(t, k.tagOf(buf, seg))
 				continue
 			}
@@ -389,6 +408,9 @@ func (k *Kernel) advanceProgram(c int, t *Task) {
 				seg := l.segs[0]
 				l.segs = l.segs[1:]
 				t.LastRecv = seg.payload
+				if k.Audit != nil {
+					k.Audit.OnSockDeliver(l, seg.seq, seg.bytes, seg.ctx)
+				}
 				k.applyBinding(t, seg.ctx)
 				continue
 			}
@@ -472,11 +494,27 @@ func (k *Kernel) send(t *Task, e *Endpoint, bytes int, payload any) {
 		buf.waiting = buf.waiting[1:]
 		w.blockedRecv = nil
 		w.LastRecv = payload
+		if k.Audit != nil {
+			seq := k.nextSegSeq()
+			k.Audit.OnSockEnqueue(buf, seq, bytes, t.Ctx)
+			k.Audit.OnSockDeliver(buf, seq, bytes, t.Ctx)
+		}
 		k.applyBinding(w, t.Ctx)
 		k.wake(w)
 		return
 	}
-	buf.segs = append(buf.segs, segment{bytes: bytes, ctx: t.Ctx, payload: payload})
+	seg := segment{bytes: bytes, ctx: t.Ctx, payload: payload}
+	if k.Audit != nil {
+		seg.seq = k.nextSegSeq()
+		k.Audit.OnSockEnqueue(buf, seg.seq, bytes, t.Ctx)
+	}
+	buf.segs = append(buf.segs, seg)
+}
+
+// nextSegSeq returns a fresh audit identity for a socket segment.
+func (k *Kernel) nextSegSeq() uint64 {
+	k.segSeq++
+	return k.segSeq
 }
 
 // block removes a running task from its core into the blocked state.

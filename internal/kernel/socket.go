@@ -14,6 +14,9 @@ type segment struct {
 	bytes   int
 	ctx     Context
 	payload any
+	// seq is an audit-only identity for the segment, assigned at enqueue
+	// time when an AuditSink is installed (0 otherwise).
+	seq uint64
 }
 
 // sockBuf is one direction of a connection: a FIFO of tagged segments plus
@@ -22,11 +25,6 @@ type sockBuf struct {
 	segs    []segment
 	lastCtx Context // naive mode: single tag, overwritten by each send
 	waiting []*Task
-}
-
-func (b *sockBuf) push(bytes int, ctx Context, payload any) {
-	b.segs = append(b.segs, segment{bytes: bytes, ctx: ctx, payload: payload})
-	b.lastCtx = ctx
 }
 
 func (b *sockBuf) empty() bool { return len(b.segs) == 0 }

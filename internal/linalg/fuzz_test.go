@@ -1,0 +1,87 @@
+package linalg
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// floatsFrom decodes n float64 values from raw fuzz bytes: full 8-byte
+// words while they last (so the fuzzer can reach NaN/Inf/denormal bit
+// patterns), then single bytes, then a deterministic filler.
+func floatsFrom(data []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		switch {
+		case (i+1)*8 <= len(data):
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		case i < len(data):
+			out[i] = float64(int8(data[i]))
+		default:
+			out[i] = float64(i%7) - 3
+		}
+	}
+	return out
+}
+
+// FuzzSolveLeastSquares hammers LeastSquares (and Solve underneath) with
+// arbitrary designs, including rank-deficient, NaN- and Inf-carrying, and
+// overflow-prone ones. The contract under test: a nil error implies a
+// solution of the right length whose entries are all finite — degenerate
+// systems must surface as ErrSingular, never as garbage coefficients.
+func FuzzSolveLeastSquares(f *testing.F) {
+	f.Add(uint8(2), uint8(5), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15})
+	f.Add(uint8(3), uint8(3), []byte{})                       // underdetermined filler design
+	f.Add(uint8(1), uint8(4), []byte{0, 0, 0, 0, 0, 0, 0, 0}) // all-zero: singular
+	// A NaN in the design used to pass the pivot check and come back as a
+	// NaN solution with a nil error.
+	nan := make([]byte, 24)
+	binary.LittleEndian.PutUint64(nan, math.Float64bits(math.NaN()))
+	f.Add(uint8(2), uint8(6), nan)
+	// Huge finite values overflow the normal equations to Inf.
+	huge := make([]byte, 32)
+	binary.LittleEndian.PutUint64(huge, math.Float64bits(1e308))
+	binary.LittleEndian.PutUint64(huge[8:], math.Float64bits(-1e308))
+	f.Add(uint8(3), uint8(7), huge)
+	f.Fuzz(func(t *testing.T, kRaw, nRaw uint8, data []byte) {
+		k := int(kRaw)%5 + 1
+		n := int(nRaw)%10 + 1
+		vals := floatsFrom(data, n*(k+1))
+		rows := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			rows[i] = vals[i*(k+1) : i*(k+1)+k]
+			y[i] = vals[i*(k+1)+k]
+		}
+		sol, err := LeastSquares(rows, y, nil)
+		if err == nil {
+			if len(sol) != k {
+				t.Fatalf("solution has %d coefficients, want %d", len(sol), k)
+			}
+			for _, v := range sol {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("nil error but non-finite solution %v", sol)
+				}
+			}
+		}
+
+		// Hammer Solve directly on a k×k slice of the same data.
+		sq := make([][]float64, k)
+		b := make([]float64, k)
+		vals2 := floatsFrom(data, k*(k+1))
+		for i := 0; i < k; i++ {
+			sq[i] = append([]float64(nil), vals2[i*(k+1):i*(k+1)+k]...)
+			b[i] = vals2[i*(k+1)+k]
+		}
+		if x, err := Solve(sq, b); err == nil {
+			if len(x) != k {
+				t.Fatalf("Solve returned %d entries, want %d", len(x), k)
+			}
+			for _, v := range x {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("Solve nil error but non-finite solution %v", x)
+				}
+			}
+		}
+	})
+}

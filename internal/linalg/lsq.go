@@ -39,7 +39,9 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 				max, pivot = m, r
 			}
 		}
-		if max < 1e-12 {
+		// Written as a negated >= so a NaN pivot (from NaN/Inf inputs)
+		// also lands in the singular branch: NaN compares false both ways.
+		if !(max >= 1e-12) {
 			return nil, ErrSingular
 		}
 		a[col], a[pivot] = a[pivot], a[col]
@@ -67,8 +69,19 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		}
 		x[i] = sum / a[i][i]
 	}
+	// Finite pivots do not guarantee a finite solution: intermediate
+	// elimination can overflow on extreme (or non-finite) inputs. A
+	// non-finite solution is useless to callers, so classify it singular.
+	for _, v := range x {
+		if !isFinite(v) {
+			return nil, ErrSingular
+		}
+	}
 	return x, nil
 }
+
+// isFinite reports whether v is neither NaN nor ±Inf.
+func isFinite(v float64) bool { return v-v == 0 }
 
 func abs(x float64) float64 {
 	if x < 0 {

@@ -84,13 +84,30 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
+// Probe observes every event dispatch, for runtime invariant auditing
+// (virtual-time monotonicity, FIFO ordering among simultaneous events).
+// A nil probe — the default — costs only a nil check on the hot path.
+type Probe interface {
+	// OnStep fires immediately before an event's callback runs: now is
+	// the clock before the step, at and seq identify the event being
+	// dispatched.
+	OnStep(now, at Time, seq uint64)
+}
+
 // Engine is a discrete-event simulation driver. It is not safe for
 // concurrent use; an entire experiment runs on one goroutine.
 type Engine struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+	now   Time
+	heap  eventHeap
+	seq   uint64
+	probe Probe
 }
+
+// SetProbe installs an audit probe (nil to disable).
+func (e *Engine) SetProbe(p Probe) { e.probe = p }
+
+// Probe returns the installed audit probe, if any.
+func (e *Engine) Probe() Probe { return e.probe }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine {
@@ -138,6 +155,9 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := heap.Pop(&e.heap).(*event)
+	if e.probe != nil {
+		e.probe.OnStep(e.now, ev.at, ev.seq)
+	}
 	e.now = ev.at
 	fn := ev.fn
 	ev.fn = nil

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/sim"
+)
+
+// TestTimelineDefaultWidth renders with Width unset and checks the axis
+// falls back to 72 cells.
+func TestTimelineDefaultWidth(t *testing.T) {
+	c := capture(t)
+	out := Timeline{}.Render(c)
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 {
+			j := strings.LastIndexByte(line, '|')
+			if j-i-1 != 72 {
+				t.Fatalf("default lane width %d, want 72: %q", j-i-1, line)
+			}
+		}
+	}
+}
+
+// TestTimelineZeroSpan renders a container whose entire trace collapses to
+// a single instant: the span clamp must prevent a division by zero and
+// every mark must land in the first cell.
+func TestTimelineZeroSpan(t *testing.T) {
+	c := &core.Container{
+		Label: "instant",
+		Intervals: []core.TraceInterval{
+			{Task: "httpd", Start: 5 * sim.Millisecond, End: 5 * sim.Millisecond},
+		},
+		Trace: []core.TraceEvent{
+			{T: 5 * sim.Millisecond, Kind: core.TraceBind, Task: "httpd"},
+		},
+	}
+	out := Timeline{Width: 20}.Render(c)
+	if !strings.Contains(out, "request instant: 0ns total") {
+		t.Fatalf("zero-span header wrong:\n%s", out)
+	}
+}
+
+// TestTimelineStagelessContainer renders a container that has intervals
+// and events but no recorded stages (no attribution periods landed): the
+// renderer must skip the unknown lanes rather than panic, and still emit
+// the header, axis and legend.
+func TestTimelineStagelessContainer(t *testing.T) {
+	c := &core.Container{
+		Label: "ghost",
+		Intervals: []core.TraceInterval{
+			{Task: "nowhere", Start: 0, End: sim.Millisecond},
+		},
+		Trace: []core.TraceEvent{
+			{T: sim.Millisecond / 2, Kind: core.TraceFork, Task: "nowhere"},
+		},
+	}
+	out := Timeline{Width: 16}.Render(c)
+	if strings.Contains(out, "nowhere") {
+		t.Fatalf("stage-less task got a lane:\n%s", out)
+	}
+	for _, want := range []string{"request ghost", "+----------------+", "marks:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestEventLogOrigin checks offsets are taken relative to Origin, including
+// events that precede it (negative offsets).
+func TestEventLogOrigin(t *testing.T) {
+	c := &core.Container{
+		Label: "r",
+		Trace: []core.TraceEvent{
+			{T: 3 * sim.Millisecond, Kind: core.TraceExit, Task: "b", Detail: "late"},
+			{T: sim.Millisecond, Kind: core.TraceBind, Task: "a", Detail: "early"},
+		},
+	}
+	log := Timeline{Origin: 2 * sim.Millisecond}.EventLog(c)
+	lines := strings.Split(strings.TrimSpace(log), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("event log lines = %d, want 2:\n%s", len(lines), log)
+	}
+	// Sorted by time: the earlier event (1 ms before origin) first, with a
+	// negative offset.
+	if !strings.Contains(lines[0], "-") || !strings.Contains(lines[0], "early") {
+		t.Fatalf("first line should be the pre-origin event: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "1.000ms") || !strings.Contains(lines[1], "late") {
+		t.Fatalf("second line should be the post-origin event: %q", lines[1])
+	}
+}

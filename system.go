@@ -314,5 +314,9 @@ func (r *Run) Execute(d time.Duration) (*Report, error) {
 	})
 	m.Eng.RunUntil(until + 3*sim.Second)
 
+	if err := m.FinalizeAudit(); err != nil {
+		return nil, fmt.Errorf("powercontainers: %w", err)
+	}
+
 	return r.buildReport(warm, end, acc1-acc0, bg1-bg0)
 }
