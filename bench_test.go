@@ -7,7 +7,10 @@
 package powercontainers
 
 import (
+	"encoding/json"
 	"math"
+	"os"
+	"runtime"
 	"testing"
 
 	"powercontainers/internal/align"
@@ -280,6 +283,67 @@ func BenchmarkTable1ResponseTimes(b *testing.B) {
 	}
 	b.ReportMetric(simpleMs, "ms-simple-balance")
 	b.ReportMetric(awareMs, "ms-workload-aware")
+}
+
+// BenchmarkRegistryParallel measures the whole-registry run (`pcbench
+// all`) serially (jobs=1) against the parallel runner (jobs = GOMAXPROCS,
+// at least 4). Both produce byte-identical renderings; the delta is pure
+// wall-clock. With BENCH_RUNNER_OUT set, the measured split is written as
+// JSON (scripts/bench_runner.sh wraps this to refresh BENCH_runner.json).
+func BenchmarkRegistryParallel(b *testing.B) {
+	var ids []string
+	for _, e := range ListExperiments() {
+		// The overhead experiment runs testing.Benchmark internally,
+		// which deadlocks on the benchmark framework's lock when invoked
+		// from inside a running benchmark.
+		if e.ID == "overhead" {
+			continue
+		}
+		ids = append(ids, e.ID)
+	}
+	if testing.Short() {
+		ids = []string{"fig1", "fig2", "fig4", "fig13", "ablations"}
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+	// Warm the per-machine calibration cache so the serial leg doesn't
+	// pay the one-time offline calibration that the parallel leg would
+	// then get for free.
+	for _, spec := range cpu.Specs() {
+		if _, err := experiments.CalibrationFor(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run := func(b *testing.B, jobs int) float64 {
+		for i := 0; i < b.N; i++ {
+			if _, err := RunExperiments(ids, 1, jobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return b.Elapsed().Seconds() / float64(b.N)
+	}
+	var serialSec, parallelSec float64
+	b.Run("serial", func(b *testing.B) { serialSec = run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { parallelSec = run(b, jobs) })
+
+	if out := os.Getenv("BENCH_RUNNER_OUT"); out != "" && serialSec > 0 && parallelSec > 0 {
+		buf, err := json.MarshalIndent(map[string]any{
+			"experiments":  len(ids),
+			"cores":        runtime.NumCPU(),
+			"jobs":         jobs,
+			"serial_sec":   serialSec,
+			"parallel_sec": parallelSec,
+			"speedup":      serialSec / parallelSec,
+		}, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // ---- §3.5 overhead micro-benchmarks on the facility itself ----

@@ -4,14 +4,20 @@
 // Usage:
 //
 //	pcbench -list
-//	pcbench [-seed N] <id>...      # fig1..fig14, table1, coeffs, overhead
-//	pcbench [-seed N] all
+//	pcbench [-seed N] [-jobs N] <id>...   # fig1..fig14, table1, coeffs, overhead
+//	pcbench [-seed N] [-jobs N] all
+//
+// -jobs bounds the worker pool (default: GOMAXPROCS). Distinct experiments
+// and the independent cells inside grid experiments run concurrently, but
+// output is byte-identical at any -jobs value: every job owns its own
+// simulation engine and RNG, and results assemble by plan index.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"powercontainers"
@@ -20,6 +26,7 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 1, "simulation seed (identical seeds reproduce identical results)")
+	jobs := flag.Int("jobs", 0, "max concurrent simulation jobs (0 = GOMAXPROCS); output is identical at any value")
 	flag.Parse()
 
 	if *list {
@@ -35,7 +42,7 @@ func main() {
 
 	ids := flag.Args()
 	if len(ids) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: pcbench [-seed N] <id>... | all | -list")
+		fmt.Fprintln(os.Stderr, "usage: pcbench [-seed N] [-jobs N] <id>... | all | -list")
 		os.Exit(2)
 	}
 	if len(ids) == 1 && ids[0] == "all" {
@@ -44,14 +51,33 @@ func main() {
 			ids = append(ids, e.ID)
 		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		out, err := powercontainers.RunExperiment(id, *seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
-			os.Exit(1)
+
+	start := time.Now()
+	runs, err := powercontainers.RunExperiments(ids, *seed, *jobs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+
+	for _, r := range runs {
+		fmt.Print(r.Output)
+		fmt.Printf("[%s completed in %v]\n\n", r.ID, r.Elapsed.Round(time.Millisecond))
+	}
+
+	if len(runs) > 1 {
+		var sum time.Duration
+		fmt.Println("timing summary:")
+		for _, r := range runs {
+			sum += r.Elapsed
+			fmt.Printf("  %-9s %v\n", r.ID, r.Elapsed.Round(time.Millisecond))
 		}
-		fmt.Print(out)
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		njobs := *jobs
+		if njobs <= 0 {
+			njobs = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("  %-9s %v (sum of experiment times)\n", "total", sum.Round(time.Millisecond))
+		fmt.Printf("  %-9s %v (speedup %.2fx at jobs=%d)\n", "wall",
+			wall.Round(time.Millisecond), float64(sum)/float64(wall), njobs)
 	}
 }

@@ -2,8 +2,10 @@ package powercontainers
 
 import (
 	"fmt"
+	"time"
 
 	"powercontainers/internal/experiments"
+	"powercontainers/internal/runner"
 )
 
 // ExperimentInfo describes one reproducible table or figure of the paper's
@@ -27,13 +29,88 @@ func ListExperiments() []ExperimentInfo {
 // (fig1..fig14, table1, coeffs, overhead) and returns its textual
 // rendering. Identical seeds reproduce identical results.
 func RunExperiment(id string, seed uint64) (string, error) {
+	return RunExperimentJobs(id, seed, 0)
+}
+
+// RunExperimentJobs is RunExperiment with an explicit worker bound for
+// the experiment's internal job plan (0 = GOMAXPROCS). The rendering is
+// byte-identical at any jobs value; jobs trades only wall-clock for
+// cores. Each call audits (when PC_AUDIT is set) into its own per-run
+// collector, so concurrent calls never interleave violation lists.
+func RunExperimentJobs(id string, seed uint64, jobs int) (string, error) {
 	e, err := experiments.Lookup(id)
 	if err != nil {
 		return "", err
 	}
-	r, err := e.Run(seed)
+	r, err := e.Run(experiments.NewRunExec(jobs), seed)
 	if err != nil {
 		return "", fmt.Errorf("experiment %s: %w", e.ID, err)
 	}
 	return r.Render(), nil
+}
+
+// ExperimentRun is one experiment's outcome in a multi-experiment run.
+type ExperimentRun struct {
+	// ID is the resolved experiment id (aliases resolve to their owner).
+	ID string
+	// Output is the experiment's textual rendering.
+	Output string
+	// Elapsed is the experiment's own wall-clock time; concurrent
+	// experiments overlap, so the sum can exceed the batch wall-clock.
+	Elapsed time.Duration
+}
+
+// RunExperiments reproduces several experiments, fanning distinct
+// experiments out across up to jobs workers (0 = GOMAXPROCS) while each
+// experiment's internal grid shares the same bound. Results arrive in
+// input order regardless of completion order, and every rendering is
+// byte-identical to a serial run. Experiments marked Exclusive measure
+// real host wall-clock (the §3.5 overhead microbenchmarks) and run one
+// at a time after the simulation experiments, so concurrent simulations
+// never inflate their timings.
+func RunExperiments(ids []string, seed uint64, jobs int) ([]ExperimentRun, error) {
+	resolved := make([]experiments.Experiment, len(ids))
+	for i, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			return nil, err
+		}
+		resolved[i] = e
+	}
+	runOne := func(e experiments.Experiment) (ExperimentRun, error) {
+		start := time.Now()
+		r, err := e.Run(experiments.NewRunExec(jobs), seed)
+		if err != nil {
+			return ExperimentRun{}, fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		return ExperimentRun{ID: e.ID, Output: r.Render(), Elapsed: time.Since(start)}, nil
+	}
+	out := make([]ExperimentRun, len(resolved))
+	plan := &runner.Plan{}
+	var planIdx []int
+	for i, e := range resolved {
+		if e.Exclusive {
+			continue
+		}
+		planIdx = append(planIdx, i)
+		plan.Add("experiment/"+e.ID, func() (any, error) { return runOne(e) })
+	}
+	cells, err := runner.Collect[ExperimentRun](plan, jobs)
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range planIdx {
+		out[i] = cells[k]
+	}
+	for i, e := range resolved {
+		if !e.Exclusive {
+			continue
+		}
+		r, err := runOne(e)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"powercontainers/internal/cpu"
 	"powercontainers/internal/kernel"
 	"powercontainers/internal/power"
+	"powercontainers/internal/runner"
 	"powercontainers/internal/server"
 	"powercontainers/internal/sim"
 	"powercontainers/internal/workload"
@@ -270,21 +271,44 @@ func AblationUserTransfers(seed uint64) (float64, error) {
 
 // Ablations runs all four.
 func Ablations(seed uint64) (*AblationResult, error) {
-	res := &AblationResult{}
-	var err error
-	if res.ChipShareDeviation, res.ChipShareMaxSum, err = AblationChipShare(seed); err != nil {
+	return AblationsEx(Exec{}, seed)
+}
+
+// ablationCell carries one ablation job's metrics; jobs that produce a
+// single metric leave the second field zero.
+type ablationCell [2]float64
+
+// AblationsEx runs all four ablations as independent jobs. Each ablation
+// builds its own kernels and facilities, so they parallelize cleanly.
+func AblationsEx(ex Exec, seed uint64) (*AblationResult, error) {
+	plan := &runner.Plan{}
+	plan.Add("ablation/chip-share", func() (any, error) {
+		dev, maxSum, err := AblationChipShare(seed)
+		return ablationCell{dev, maxSum}, err
+	})
+	plan.Add("ablation/tagging", func() (any, error) {
+		mis, err := AblationTagging(seed)
+		return ablationCell{mis}, err
+	})
+	plan.Add("ablation/observer", func() (any, error) {
+		inf, err := AblationObserver(seed)
+		return ablationCell{inf}, err
+	})
+	plan.Add("ablation/user-transfers", func() (any, error) {
+		mis, err := AblationUserTransfers(seed)
+		return ablationCell{mis}, err
+	})
+	cells, err := runner.Collect[ablationCell](plan, ex.Jobs)
+	if err != nil {
 		return nil, err
 	}
-	if res.TaggingMisattribution, err = AblationTagging(seed); err != nil {
-		return nil, err
-	}
-	if res.ObserverInflation, err = AblationObserver(seed); err != nil {
-		return nil, err
-	}
-	if res.UserTransferMisattribution, err = AblationUserTransfers(seed); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return &AblationResult{
+		ChipShareDeviation:         cells[0][0],
+		ChipShareMaxSum:            cells[0][1],
+		TaggingMisattribution:      cells[1][0],
+		ObserverInflation:          cells[2][0],
+		UserTransferMisattribution: cells[3][0],
+	}, nil
 }
 
 // Render prints the ablation table.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"powercontainers/internal/cluster"
 	"powercontainers/internal/core"
@@ -34,6 +35,15 @@ func cluster3Specs() []cpu.MachineSpec {
 
 // Cluster3 runs the three-machine distribution experiment.
 func Cluster3(seed uint64) (*Cluster3Result, error) {
+	return Cluster3Ex(Exec{}, seed)
+}
+
+// Cluster3Ex runs the three-machine distribution experiment with explicit
+// execution configuration. Like Fig14 it stays a single job — the cluster
+// machines share one timeline — so only the per-run audit config is
+// threaded.
+func Cluster3Ex(ex Exec, seed uint64) (*Cluster3Result, error) {
+	as := ex.Assembly
 	specs := cluster3Specs()
 
 	// Profiling: per-app mean request energy on every machine.
@@ -41,7 +51,7 @@ func Cluster3(seed uint64) (*Cluster3Result, error) {
 	affinity := map[string]float64{}
 	for _, wl := range []workload.Workload{workload.GAE{}, workload.RSA{}} {
 		for _, spec := range specs {
-			r, err := Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
+			r, err := as.Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -65,7 +75,7 @@ func Cluster3(seed uint64) (*Cluster3Result, error) {
 
 	res := &Cluster3Result{Energy: energy}
 	for _, pol := range []cluster.Policy{cluster.SimpleBalance, cluster.MachineAware, cluster.WorkloadAware} {
-		p, err := cluster3Run(pol, affinity, seed)
+		p, err := cluster3Run(as, pol, affinity, seed)
 		if err != nil {
 			return nil, fmt.Errorf("cluster3 %s: %w", pol, err)
 		}
@@ -80,7 +90,7 @@ func Cluster3(seed uint64) (*Cluster3Result, error) {
 	return res, nil
 }
 
-func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (*Fig14Policy, error) {
+func cluster3Run(as Assembly, pol cluster.Policy, affinity map[string]float64, seed uint64) (*Fig14Policy, error) {
 	specs := cluster3Specs()
 	eng := sim.NewEngine()
 	rng := sim.NewRand(seed * 37)
@@ -99,7 +109,7 @@ func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (
 	var machines []*Machine
 	deps := make([]map[string]*server.Deployment, len(specs))
 	for i, spec := range specs {
-		m, err := NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*29)
+		m, err := as.NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*29)
 		if err != nil {
 			return nil, err
 		}
@@ -122,7 +132,7 @@ func cluster3Run(pol cluster.Policy, affinity map[string]float64, seed uint64) (
 	}
 
 	d := cluster.NewDispatcher(eng, nodes, apps, pol)
-	laud := newAuditor(fmt.Sprintf("cluster3/%s", pol))
+	laud := as.collector().newAuditor(fmt.Sprintf("cluster3/%s", pol))
 	if laud != nil {
 		d.Ledger.Audit = laud
 	}
@@ -184,7 +194,13 @@ func (r *Cluster3Result) Render() string {
 		Title:  "profiled per-request energy (J)",
 		Header: []string{"app", specs[0].Name, specs[1].Name, specs[2].Name},
 	}
-	for app, e := range r.Energy {
+	apps := make([]string, 0, len(r.Energy))
+	for app := range r.Energy {
+		apps = append(apps, app)
+	}
+	sort.Strings(apps)
+	for _, app := range apps {
+		e := r.Energy[app]
 		t2.AddRow(app, j2(e[0]), j2(e[1]), j2(e[2]))
 	}
 	return t.String() + "\n" + t2.String()

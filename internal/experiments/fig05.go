@@ -5,6 +5,7 @@ import (
 
 	"powercontainers/internal/core"
 	"powercontainers/internal/cpu"
+	"powercontainers/internal/runner"
 	"powercontainers/internal/workload"
 )
 
@@ -44,10 +45,13 @@ type Fig5Options struct {
 	Machines []cpu.MachineSpec
 	// Workloads restricts the workload set (nil = all six).
 	Workloads []workload.Workload
+	// Exec configures parallelism and per-run assembly.
+	Exec Exec
 }
 
-// Fig5 measures every (machine, workload, load) combination.
-func Fig5(opt Fig5Options, seed uint64) (*Fig5Result, error) {
+// fig5Plan decomposes the grid into one self-contained job per
+// (machine, workload, load) cell; each job owns its machine simulation.
+func fig5Plan(opt Fig5Options, seed uint64) *runner.Plan {
 	machines := opt.Machines
 	if machines == nil {
 		machines = cpu.Specs()
@@ -56,25 +60,40 @@ func Fig5(opt Fig5Options, seed uint64) (*Fig5Result, error) {
 	if wls == nil {
 		wls = EvalWorkloads()
 	}
-	res := &Fig5Result{}
+	as := opt.Exec.Assembly
+	plan := &runner.Plan{}
 	for _, spec := range machines {
 		for _, wl := range wls {
 			for _, load := range []LoadLevel{PeakLoad, HalfLoad} {
-				r, err := Run(spec, core.ApproachChipShare, RunSpec{Workload: wl, Load: load}, seed)
-				if err != nil {
-					return nil, err
-				}
-				res.Cells = append(res.Cells, Fig5Cell{
-					Machine:    spec.Name,
-					Workload:   wl.Name(),
-					Load:       load,
-					ActiveW:    r.MeasuredActiveW,
-					Throughput: r.Gen.Throughput(r.T0, r.T1),
+				key := fmt.Sprintf("fig5/%s/%s/%s", spec.Name, wl.Name(), load)
+				plan.Add(key, func() (any, error) {
+					r, err := as.Run(spec, core.ApproachChipShare, RunSpec{Workload: wl, Load: load}, seed)
+					if err != nil {
+						return nil, err
+					}
+					return Fig5Cell{
+						Machine:    spec.Name,
+						Workload:   wl.Name(),
+						Load:       load,
+						ActiveW:    r.MeasuredActiveW,
+						Throughput: r.Gen.Throughput(r.T0, r.T1),
+					}, nil
 				})
 			}
 		}
 	}
-	return res, nil
+	return plan
+}
+
+// Fig5 measures every (machine, workload, load) combination. Cells are
+// independent simulations fanned out across opt.Exec.Jobs workers; the
+// result is byte-identical at any worker count.
+func Fig5(opt Fig5Options, seed uint64) (*Fig5Result, error) {
+	cells, err := runner.Collect[Fig5Cell](fig5Plan(opt, seed), opt.Exec.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Cells: cells}, nil
 }
 
 // Render prints the figure as text.

@@ -5,6 +5,7 @@ import (
 
 	"powercontainers/internal/core"
 	"powercontainers/internal/cpu"
+	"powercontainers/internal/runner"
 	"powercontainers/internal/workload"
 )
 
@@ -34,6 +35,8 @@ type Fig8Result struct {
 type Fig8Options struct {
 	Machines  []cpu.MachineSpec
 	Workloads []workload.Workload
+	// Exec configures parallelism and per-run assembly.
+	Exec Exec
 }
 
 // Approaches lists the three Figure 8 approaches in order.
@@ -41,36 +44,57 @@ func Approaches() []core.Approach {
 	return []core.Approach{core.ApproachCoreOnly, core.ApproachChipShare, core.ApproachRecalibrated}
 }
 
-// Fig8 runs the full validation grid.
-func Fig8(opt Fig8Options, seed uint64) (*Fig8Result, error) {
+// fig8Plan decomposes the validation grid into one job per
+// (machine, workload, load, approach) cell. The option sets must already
+// be resolved to non-nil.
+func fig8Plan(opt Fig8Options, seed uint64) *runner.Plan {
 	machines := opt.Machines
-	if machines == nil {
-		machines = cpu.Specs()
-	}
 	wls := opt.Workloads
-	if wls == nil {
-		wls = EvalWorkloads()
-	}
-	res := &Fig8Result{WorstByApproach: map[string]map[core.Approach]float64{}}
+	as := opt.Exec.Assembly
+	plan := &runner.Plan{}
 	for _, spec := range machines {
-		res.WorstByApproach[spec.Name] = map[core.Approach]float64{}
 		for _, wl := range wls {
 			for _, load := range []LoadLevel{PeakLoad, HalfLoad} {
 				for _, ap := range Approaches() {
-					r, err := Run(spec, ap, RunSpec{Workload: wl, Load: load}, seed)
-					if err != nil {
-						return nil, fmt.Errorf("fig8 %s/%s/%s/%s: %w", spec.Name, wl.Name(), load, ap, err)
-					}
-					e := r.ValidationError()
-					res.Cells = append(res.Cells, Fig8Cell{
-						Machine: spec.Name, Workload: wl.Name(), Load: load,
-						Approach: ap, Error: e,
+					key := fmt.Sprintf("fig8/%s/%s/%s/%s", spec.Name, wl.Name(), load, ap)
+					plan.Add(key, func() (any, error) {
+						r, err := as.Run(spec, ap, RunSpec{Workload: wl, Load: load}, seed)
+						if err != nil {
+							return nil, fmt.Errorf("fig8 %s/%s/%s/%s: %w", spec.Name, wl.Name(), load, ap, err)
+						}
+						return Fig8Cell{
+							Machine: spec.Name, Workload: wl.Name(), Load: load,
+							Approach: ap, Error: r.ValidationError(),
+						}, nil
 					})
-					if e > res.WorstByApproach[spec.Name][ap] {
-						res.WorstByApproach[spec.Name][ap] = e
-					}
 				}
 			}
+		}
+	}
+	return plan
+}
+
+// Fig8 runs the full validation grid, fanning the independent cells out
+// across opt.Exec.Jobs workers; the reduced result is byte-identical at
+// any worker count.
+func Fig8(opt Fig8Options, seed uint64) (*Fig8Result, error) {
+	if opt.Machines == nil {
+		opt.Machines = cpu.Specs()
+	}
+	if opt.Workloads == nil {
+		opt.Workloads = EvalWorkloads()
+	}
+	cells, err := runner.Collect[Fig8Cell](fig8Plan(opt, seed), opt.Exec.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Cells: cells, WorstByApproach: map[string]map[core.Approach]float64{}}
+	for _, spec := range opt.Machines {
+		res.WorstByApproach[spec.Name] = map[core.Approach]float64{}
+	}
+	for _, c := range cells {
+		if c.Error > res.WorstByApproach[c.Machine][c.Approach] {
+			res.WorstByApproach[c.Machine][c.Approach] = c.Error
 		}
 	}
 	return res, nil

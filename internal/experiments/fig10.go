@@ -6,6 +6,7 @@ import (
 
 	"powercontainers/internal/core"
 	"powercontainers/internal/cpu"
+	"powercontainers/internal/runner"
 	"powercontainers/internal/server"
 	"powercontainers/internal/sim"
 	"powercontainers/internal/workload"
@@ -71,6 +72,13 @@ type typeProfile struct {
 
 // Fig10 runs the profiling and prediction procedure on SandyBridge.
 func Fig10(seed uint64) (*Fig10Result, error) {
+	return Fig10Ex(Exec{}, seed)
+}
+
+// Fig10Ex runs Figure 10 with explicit execution configuration. The two
+// applications are independent jobs (profiling feeds prediction within an
+// app, so each app's pipeline stays sequential inside its job).
+func Fig10Ex(ex Exec, seed uint64) (*Fig10Result, error) {
 	top := 10
 	topLabels := make([]string, top)
 	topWeights := workload.ProblemWeights()[:top]
@@ -94,12 +102,23 @@ func Fig10(seed uint64) (*Fig10Result, error) {
 		},
 	}
 
-	res := &Fig10Result{}
+	plan := &runner.Plan{}
 	for ai, app := range apps {
-		pts, err := fig10App(app, seed+uint64(ai)*101)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
-		}
+		appSeed := seed + uint64(ai)*101
+		plan.Add("fig10/"+app.Name, func() (any, error) {
+			pts, err := fig10App(ex.Assembly, app, appSeed)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
+			}
+			return pts, nil
+		})
+	}
+	perApp, err := runner.Collect[[]Fig10Point](plan, ex.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig10Result{}
+	for _, pts := range perApp {
 		res.Points = append(res.Points, pts...)
 	}
 	for _, p := range res.Points {
@@ -111,11 +130,11 @@ func Fig10(seed uint64) (*Fig10Result, error) {
 	return res, nil
 }
 
-func fig10App(app Fig10App, seed uint64) ([]Fig10Point, error) {
+func fig10App(as Assembly, app Fig10App, seed uint64) ([]Fig10Point, error) {
 	spec := cpu.SandyBridge
 
 	// --- Profiling phase: run the ORIGINAL workload at median load. ---
-	m, err := NewMachine(spec, core.ApproachRecalibrated, seed)
+	m, err := as.NewMachine(spec, core.ApproachRecalibrated, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -209,7 +228,7 @@ func fig10App(app Fig10App, seed uint64) ([]Fig10Point, error) {
 		rateW := origMeasured * rate / completedRate
 
 		// Measure the new composition at this rate.
-		m2, err := NewMachine(spec, core.ApproachChipShare, seed+100+uint64(pi))
+		m2, err := as.NewMachine(spec, core.ApproachChipShare, seed+100+uint64(pi))
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,7 @@ import (
 
 	"powercontainers/internal/core"
 	"powercontainers/internal/cpu"
+	"powercontainers/internal/runner"
 	"powercontainers/internal/stats"
 	"powercontainers/internal/workload"
 )
@@ -41,30 +42,50 @@ func Fig13Workloads() []workload.Workload {
 
 // Fig13 profiles request energy on both machines.
 func Fig13(seed uint64) (*Fig13Result, error) {
-	res := &Fig13Result{}
-	for _, wl := range Fig13Workloads() {
-		var mean [2]float64
-		for i, spec := range []cpu.MachineSpec{cpu.SandyBridge, cpu.Woodcrest} {
-			r, err := Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig13 %s on %s: %w", wl.Name(), spec.Name, err)
-			}
-			var e stats.Summary
-			for _, req := range r.Gen.Completed() {
-				if req.Finished() && req.Done >= r.T0 && req.Done < r.T1 {
-					e.Observe(req.Cont.EnergyJ())
+	return Fig13Ex(Exec{}, seed)
+}
+
+// Fig13Ex runs Figure 13 with explicit execution configuration: one job
+// per (workload, machine) profiling run, reduced into per-workload ratio
+// rows in workload order.
+func Fig13Ex(ex Exec, seed uint64) (*Fig13Result, error) {
+	wls := Fig13Workloads()
+	specs := []cpu.MachineSpec{cpu.SandyBridge, cpu.Woodcrest}
+	as := ex.Assembly
+	plan := &runner.Plan{}
+	for _, wl := range wls {
+		for _, spec := range specs {
+			key := fmt.Sprintf("fig13/%s/%s", wl.Name(), spec.Name)
+			plan.Add(key, func() (any, error) {
+				r, err := as.Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
+				if err != nil {
+					return nil, fmt.Errorf("fig13 %s on %s: %w", wl.Name(), spec.Name, err)
 				}
-			}
-			if e.Count() == 0 {
-				return nil, fmt.Errorf("fig13 %s on %s: no requests", wl.Name(), spec.Name)
-			}
-			mean[i] = e.Mean()
+				var e stats.Summary
+				for _, req := range r.Gen.Completed() {
+					if req.Finished() && req.Done >= r.T0 && req.Done < r.T1 {
+						e.Observe(req.Cont.EnergyJ())
+					}
+				}
+				if e.Count() == 0 {
+					return nil, fmt.Errorf("fig13 %s on %s: no requests", wl.Name(), spec.Name)
+				}
+				return e.Mean(), nil
+			})
 		}
+	}
+	means, err := runner.Collect[float64](plan, ex.Jobs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig13Result{}
+	for i, wl := range wls {
+		sb, wc := means[2*i], means[2*i+1]
 		res.Rows = append(res.Rows, Fig13Row{
 			Workload: wl.Name(),
-			EnergySB: mean[0],
-			EnergyWC: mean[1],
-			Ratio:    mean[0] / mean[1],
+			EnergySB: sb,
+			EnergyWC: wc,
+			Ratio:    sb / wc,
 		})
 	}
 	return res, nil

@@ -48,6 +48,15 @@ func fig14Specs() []cpu.MachineSpec {
 
 // Fig14 runs the cluster experiment.
 func Fig14(seed uint64) (*Fig14Result, error) {
+	return Fig14Ex(Exec{}, seed)
+}
+
+// Fig14Ex runs the cluster experiment with explicit execution
+// configuration. The whole experiment is one job: its machines
+// intentionally share one timeline (and the profiling phase feeds the
+// distribution phase), so only the per-run audit config is threaded.
+func Fig14Ex(ex Exec, seed uint64) (*Fig14Result, error) {
+	as := ex.Assembly
 	specs := fig14Specs()
 
 	// --- Profiling phase: container energy profiles on both machines
@@ -57,7 +66,7 @@ func Fig14(seed uint64) (*Fig14Result, error) {
 	for _, wl := range []workload.Workload{workload.GAE{}, workload.RSA{}} {
 		var mean [2]float64
 		for i, spec := range specs {
-			r, err := Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
+			r, err := as.Run(spec, core.ApproachRecalibrated, RunSpec{Workload: wl, Load: PeakLoad}, seed)
 			if err != nil {
 				return nil, err
 			}
@@ -84,7 +93,7 @@ func Fig14(seed uint64) (*Fig14Result, error) {
 
 	// --- Distribution phase. ---
 	for _, pol := range []cluster.Policy{cluster.SimpleBalance, cluster.MachineAware, cluster.WorkloadAware} {
-		p, err := fig14Run(pol, affinity, svcSec, seed)
+		p, err := fig14Run(as, pol, affinity, svcSec, seed)
 		if err != nil {
 			return nil, fmt.Errorf("fig14 %s: %w", pol, err)
 		}
@@ -102,7 +111,7 @@ func Fig14(seed uint64) (*Fig14Result, error) {
 	return res, nil
 }
 
-func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]float64, seed uint64) (*Fig14Policy, error) {
+func fig14Run(as Assembly, pol cluster.Policy, affinity map[string]float64, _ map[string][]float64, seed uint64) (*Fig14Policy, error) {
 	specs := fig14Specs()
 	eng := sim.NewEngine()
 	rng := sim.NewRand(seed * 31)
@@ -124,7 +133,7 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 	}
 
 	for i, spec := range specs {
-		m, err := NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*17)
+		m, err := as.NewMachineOnEngine(eng, spec, core.ApproachChipShare, seed+uint64(i)*17)
 		if err != nil {
 			return nil, err
 		}
@@ -152,7 +161,7 @@ func fig14Run(pol cluster.Policy, affinity map[string]float64, _ map[string][]fl
 	}
 
 	d := cluster.NewDispatcher(eng, nodes, apps, pol)
-	laud := newAuditor(fmt.Sprintf("cluster/%s", pol))
+	laud := as.collector().newAuditor(fmt.Sprintf("cluster/%s", pol))
 	if laud != nil {
 		d.Ledger.Audit = laud
 	}

@@ -21,90 +21,180 @@ import (
 	"powercontainers/internal/workload"
 )
 
-// auditState gates runtime invariant auditing for every machine this
-// package assembles. Auditing is off by default (zero overhead beyond nil
-// checks); tests enable it with EnableAudit, and setting PC_AUDIT=1 in
-// the environment turns it on for a whole test run.
-var auditState struct {
-	sync.Mutex
+// AuditCollector gathers the invariant auditors of one run. Each parallel
+// experiment run owns its own collector, so concurrent runs never
+// interleave violation lists; the process-default collector (PC_AUDIT /
+// EnableAudit) backs the compatibility API and machines assembled without
+// an explicit Assembly.
+type AuditCollector struct {
+	mu       sync.Mutex
 	enabled  bool
 	auditors []*audit.Auditor
 }
 
-func init() {
-	switch os.Getenv("PC_AUDIT") {
-	case "", "0", "false", "off":
-		// disabled
-	default:
-		auditState.enabled = true
+// NewAuditCollector returns an empty collector; enabled selects whether
+// machines assembled against it get an auditor attached.
+func NewAuditCollector(enabled bool) *AuditCollector {
+	return &AuditCollector{enabled: enabled}
+}
+
+// Enabled reports whether the collector attaches auditors.
+func (c *AuditCollector) Enabled() bool {
+	if c == nil {
+		return false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enabled
 }
 
-// EnableAudit turns on invariant auditing for machines assembled from now
-// on and clears previously collected auditors.
-func EnableAudit() {
-	auditState.Lock()
-	defer auditState.Unlock()
-	auditState.enabled = true
-	auditState.auditors = nil
-}
-
-// DisableAudit turns auditing back off and clears collected auditors.
-func DisableAudit() {
-	auditState.Lock()
-	defer auditState.Unlock()
-	auditState.enabled = false
-	auditState.auditors = nil
-}
-
-// AuditViolations returns every violation collected since auditing was
-// enabled, across all audited machines.
-func AuditViolations() []audit.Violation {
-	auditState.Lock()
-	defer auditState.Unlock()
+// Violations returns every violation collected by this run's auditors.
+func (c *AuditCollector) Violations() []audit.Violation {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var out []audit.Violation
-	for _, a := range auditState.auditors {
+	for _, a := range c.auditors {
 		out = append(out, a.Violations()...)
 	}
 	return out
 }
 
-// newAuditor registers a fresh auditor when auditing is enabled, else nil.
-func newAuditor(label string) *audit.Auditor {
-	auditState.Lock()
-	defer auditState.Unlock()
-	if !auditState.enabled {
+// newAuditor registers a fresh auditor when the collector is enabled.
+func (c *AuditCollector) newAuditor(label string) *audit.Auditor {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
 		return nil
 	}
 	a := audit.New(label)
-	auditState.auditors = append(auditState.auditors, a)
+	c.auditors = append(c.auditors, a)
 	return a
+}
+
+// defaultAudit is the process-default collector, the PC_AUDIT/EnableAudit
+// compatibility path. Auditing is off by default (zero overhead beyond
+// nil checks); tests enable it with EnableAudit, and PC_AUDIT=1 in the
+// environment turns it on for a whole test run.
+var defaultAudit struct {
+	sync.Mutex
+	c *AuditCollector
+}
+
+func init() { initDefaultAudit() }
+
+// initDefaultAudit (re)reads PC_AUDIT into a fresh default collector.
+func initDefaultAudit() {
+	enabled := false
+	switch os.Getenv("PC_AUDIT") {
+	case "", "0", "false", "off":
+		// disabled
+	default:
+		enabled = true
+	}
+	setDefaultAudit(NewAuditCollector(enabled))
+}
+
+func setDefaultAudit(c *AuditCollector) {
+	defaultAudit.Lock()
+	defer defaultAudit.Unlock()
+	defaultAudit.c = c
+}
+
+// DefaultAudit returns the process-default audit collector.
+func DefaultAudit() *AuditCollector {
+	defaultAudit.Lock()
+	defer defaultAudit.Unlock()
+	return defaultAudit.c
+}
+
+// EnableAudit turns on invariant auditing for machines assembled from now
+// on (without an explicit per-run collector) and clears previously
+// collected auditors.
+func EnableAudit() { setDefaultAudit(NewAuditCollector(true)) }
+
+// DisableAudit turns auditing back off and clears collected auditors.
+func DisableAudit() { setDefaultAudit(NewAuditCollector(false)) }
+
+// AuditViolations returns every violation collected since auditing was
+// enabled, across all machines audited through the default collector.
+func AuditViolations() []audit.Violation { return DefaultAudit().Violations() }
+
+// Assembly is per-run machine-assembly configuration, threaded through
+// every machine a run builds so parallel runs stay isolated.
+type Assembly struct {
+	// Audit receives the run's machine auditors; nil falls back to the
+	// process-default collector (PC_AUDIT / EnableAudit).
+	Audit *AuditCollector
+}
+
+// collector resolves the run's audit collector.
+func (as Assembly) collector() *AuditCollector {
+	if as.Audit != nil {
+		return as.Audit
+	}
+	return DefaultAudit()
+}
+
+// Exec configures one experiment run's execution: the worker-pool bound
+// for the run's job plan and the per-run machine assembly.
+type Exec struct {
+	// Jobs bounds how many of the run's jobs execute concurrently
+	// (0 = runner.DefaultJobs()). Results are byte-identical at any
+	// value; Jobs trades only wall-clock for cores.
+	Jobs int
+	// Assembly threads the per-run audit configuration into every
+	// machine the run assembles.
+	Assembly
+}
+
+// NewRunExec returns the Exec for one experiment run: the given worker
+// bound and a fresh audit collector inheriting the process default's
+// enablement, so parallel runs collect violations separately.
+func NewRunExec(jobs int) Exec {
+	return Exec{
+		Jobs:     jobs,
+		Assembly: Assembly{Audit: NewAuditCollector(DefaultAudit().Enabled())},
+	}
 }
 
 // calibCache memoizes offline calibration per machine: it is a controlled
 // one-time procedure in the paper too ("performed once for each target
-// machine configuration").
+// machine configuration"). Each machine gets its own once-guarded entry,
+// so under the parallel runner distinct machines calibrate concurrently
+// while duplicate work is still avoided.
 var calibCache struct {
 	sync.Mutex
-	m map[string]*calib.Result
+	m map[string]*calibEntry
+}
+
+type calibEntry struct {
+	once sync.Once
+	res  *calib.Result
+	err  error
 }
 
 // CalibrationFor returns the (cached) offline calibration of a machine.
 func CalibrationFor(spec cpu.MachineSpec) (*calib.Result, error) {
 	calibCache.Lock()
-	defer calibCache.Unlock()
 	if calibCache.m == nil {
-		calibCache.m = make(map[string]*calib.Result)
+		calibCache.m = make(map[string]*calibEntry)
 	}
-	if r, ok := calibCache.m[spec.Name]; ok {
-		return r, nil
+	e := calibCache.m[spec.Name]
+	if e == nil {
+		e = &calibEntry{}
+		calibCache.m[spec.Name] = e
 	}
-	r, err := calib.Calibrate(spec, calib.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	calibCache.m[spec.Name] = r
-	return r, nil
+	calibCache.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = calib.Calibrate(spec, calib.DefaultConfig())
+	})
+	return e.res, e.err
 }
 
 // Machine is a fully assembled machine under test: kernel, facility, and
@@ -131,17 +221,29 @@ func (m *Machine) FinalizeAudit() error {
 	return m.Audit.FinalizeMachine()
 }
 
+// NewMachine assembles a machine with the given attribution approach
+// against the process-default audit collector.
+func NewMachine(spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+	return Assembly{}.NewMachine(spec, approach, seed)
+}
+
+// NewMachineOnEngine assembles a machine onto a shared engine against the
+// process-default audit collector.
+func NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+	return Assembly{}.NewMachineOnEngine(eng, spec, approach, seed)
+}
+
 // NewMachine assembles a machine with the given attribution approach.
 // ApproachRecalibrated additionally wires online recalibration against the
 // machine's best meter (the on-chip meter on SandyBridge, the Wattsup
 // elsewhere).
-func NewMachine(spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
-	return NewMachineOnEngine(sim.NewEngine(), spec, approach, seed)
+func (as Assembly) NewMachine(spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+	return as.NewMachineOnEngine(sim.NewEngine(), spec, approach, seed)
 }
 
 // NewMachineOnEngine assembles a machine onto a shared engine (cluster
 // experiments put several machines on one timeline).
-func NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
+func (as Assembly) NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.Approach, seed uint64) (*Machine, error) {
 	cal, err := CalibrationFor(spec)
 	if err != nil {
 		return nil, err
@@ -179,7 +281,7 @@ func NewMachineOnEngine(eng *sim.Engine, spec cpu.MachineSpec, approach core.App
 			fac.EnableRecalibration(m.Wattsup, model.ScopeMachine, cal.Samples, 0)
 		}
 	}
-	if a := newAuditor(fmt.Sprintf("%s/%s", spec.Name, approach)); a != nil {
+	if a := as.collector().newAuditor(fmt.Sprintf("%s/%s", spec.Name, approach)); a != nil {
 		a.AttachMachine(fac)
 		m.Audit = a
 	}
@@ -262,9 +364,15 @@ func PeakRate(spec cpu.MachineSpec, dep *server.Deployment) float64 {
 	return float64(spec.Cores()) / dep.MeanServiceSec
 }
 
-// Run executes a workload on a fresh machine and measures the window.
+// Run executes a workload on a fresh machine and measures the window,
+// against the process-default audit collector.
 func Run(spec cpu.MachineSpec, approach core.Approach, rs RunSpec, seed uint64) (*RunResult, error) {
-	m, err := NewMachine(spec, approach, seed)
+	return Assembly{}.Run(spec, approach, rs, seed)
+}
+
+// Run executes a workload on a fresh machine and measures the window.
+func (as Assembly) Run(spec cpu.MachineSpec, approach core.Approach, rs RunSpec, seed uint64) (*RunResult, error) {
+	m, err := as.NewMachine(spec, approach, seed)
 	if err != nil {
 		return nil, err
 	}

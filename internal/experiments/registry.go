@@ -22,8 +22,16 @@ type Experiment struct {
 	// Aliases name results folded into the same run (fig3 ships with
 	// fig2, fig7 with fig6, fig12 with fig11, table1 with fig14).
 	Aliases []string
-	// Run executes the experiment with the given seed.
-	Run func(seed uint64) (Renderable, error)
+	// Run executes the experiment with the given execution
+	// configuration (worker-pool bound, per-run assembly) and seed.
+	// Experiments whose grids decompose into independent jobs fan out
+	// across ex.Jobs workers; the rest run as one job and ignore
+	// ex.Jobs. Results are byte-identical at any worker count.
+	Run func(ex Exec, seed uint64) (Renderable, error)
+	// Exclusive marks experiments that measure real host wall-clock
+	// (not virtual time) and therefore must not overlap with other
+	// running experiments, which would inflate their timings.
+	Exclusive bool
 }
 
 // Registry returns every experiment in paper order.
@@ -31,67 +39,68 @@ func Registry() []Experiment {
 	return []Experiment{
 		{
 			ID: "intro", Title: "motivating measurements: idle proportions, power variation (§1)",
-			Run: func(seed uint64) (Renderable, error) { return Intro(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Intro(seed) },
 		},
 		{
 			ID: "fig1", Title: "incremental per-core power (shared chip maintenance power)",
-			Run: func(seed uint64) (Renderable, error) { return Fig1(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig1(seed) },
 		},
 		{
 			ID: "fig2", Title: "measurement/model alignment cross-correlation", Aliases: []string{"fig3"},
-			Run: func(seed uint64) (Renderable, error) { return Fig2(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig2(seed) },
 		},
 		{
 			ID: "fig4", Title: "captured WeBWorK request execution with per-stage power/energy",
-			Run: func(seed uint64) (Renderable, error) { return Fig4(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig4(seed) },
 		},
 		{
 			ID: "coeffs", Title: "calibrated offline model coefficients (§4.1)",
-			Run: func(seed uint64) (Renderable, error) { return Coefficients(cpu.SandyBridge) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Coefficients(cpu.SandyBridge) },
 		},
 		{
 			ID: "fig5", Title: "measured active power of application workloads",
-			Run: func(seed uint64) (Renderable, error) { return Fig5(Fig5Options{}, seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig5(Fig5Options{Exec: ex}, seed) },
 		},
 		{
 			ID: "fig6", Title: "request power and energy distributions", Aliases: []string{"fig7"},
-			Run: func(seed uint64) (Renderable, error) { return Fig6(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig6(seed) },
 		},
 		{
 			ID: "fig8", Title: "validation error of the three attribution approaches",
-			Run: func(seed uint64) (Renderable, error) { return Fig8(Fig8Options{}, seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig8(Fig8Options{Exec: ex}, seed) },
 		},
 		{
 			ID: "fig9", Title: "GAE background processing power",
-			Run: func(seed uint64) (Renderable, error) { return Fig9(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig9(seed) },
 		},
 		{
 			ID: "fig10", Title: "power prediction at new request compositions",
-			Run: func(seed uint64) (Renderable, error) { return Fig10(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig10Ex(ex, seed) },
 		},
 		{
 			ID: "fig11", Title: "fair request power conditioning with power viruses", Aliases: []string{"fig12"},
-			Run: func(seed uint64) (Renderable, error) { return Fig11(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig11(seed) },
 		},
 		{
 			ID: "fig13", Title: "cross-machine energy usage ratios",
-			Run: func(seed uint64) (Renderable, error) { return Fig13(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig13Ex(ex, seed) },
 		},
 		{
 			ID: "fig14", Title: "heterogeneity-aware request distribution", Aliases: []string{"table1"},
-			Run: func(seed uint64) (Renderable, error) { return Fig14(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Fig14Ex(ex, seed) },
 		},
 		{
 			ID: "overhead", Title: "facility overhead assessment (§3.5)",
-			Run: func(seed uint64) (Renderable, error) { return Overhead() },
+			Run:       func(ex Exec, seed uint64) (Renderable, error) { return Overhead() },
+			Exclusive: true,
 		},
 		{
 			ID: "ablations", Title: "design-choice ablations (chip share, tagging, observer effect, user-level transfers)",
-			Run: func(seed uint64) (Renderable, error) { return Ablations(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return AblationsEx(ex, seed) },
 		},
 		{
 			ID: "cluster3", Title: "three-tier heterogeneous cluster distribution (extension of §4.4)",
-			Run: func(seed uint64) (Renderable, error) { return Cluster3(seed) },
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return Cluster3Ex(ex, seed) },
 		},
 	}
 }

@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestResultsIndexedByPlanOrder checks that results land at their plan
+// positions no matter how workers interleave: late jobs finish first.
+func TestResultsIndexedByPlanOrder(t *testing.T) {
+	const n = 32
+	p := &Plan{}
+	for i := 0; i < n; i++ {
+		i := i
+		p.Add(fmt.Sprintf("job%d", i), func() (any, error) {
+			// Earlier jobs sleep longer, inverting completion order.
+			time.Sleep(time.Duration(n-i) * 100 * time.Microsecond)
+			return i * i, nil
+		})
+	}
+	for _, jobs := range []int{1, 2, 8, 64} {
+		got, err := Collect[int](p, jobs)
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: result[%d] = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestLowestIndexErrorWins checks the returned error is deterministic —
+// the lowest-index failure — even when a later job fails first.
+func TestLowestIndexErrorWins(t *testing.T) {
+	early := errors.New("early failure")
+	late := errors.New("late failure")
+	p := &Plan{}
+	p.Add("ok", func() (any, error) { return 1, nil })
+	p.Add("early", func() (any, error) {
+		time.Sleep(2 * time.Millisecond)
+		return nil, early
+	})
+	p.Add("late", func() (any, error) { return nil, late })
+	for _, jobs := range []int{1, 4} {
+		_, err := Run(p, jobs)
+		if !errors.Is(err, early) {
+			t.Fatalf("jobs=%d: error %v, want wrapped %v", jobs, err, early)
+		}
+		if !strings.Contains(err.Error(), "job early") {
+			t.Fatalf("jobs=%d: error %q does not name the failing job", jobs, err)
+		}
+	}
+}
+
+// TestWorkerBound checks concurrency never exceeds the requested bound.
+func TestWorkerBound(t *testing.T) {
+	const bound = 3
+	var active, peak atomic.Int64
+	var mu sync.Mutex
+	p := &Plan{}
+	for i := 0; i < 24; i++ {
+		p.Add(fmt.Sprintf("j%d", i), func() (any, error) {
+			now := active.Add(1)
+			mu.Lock()
+			if now > peak.Load() {
+				peak.Store(now)
+			}
+			mu.Unlock()
+			time.Sleep(200 * time.Microsecond)
+			active.Add(-1)
+			return nil, nil
+		})
+	}
+	if _, err := Run(p, bound); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > bound {
+		t.Fatalf("peak concurrency %d exceeds bound %d", got, bound)
+	}
+}
+
+func TestEmptyPlan(t *testing.T) {
+	got, err := Run(&Plan{}, 8)
+	if err != nil || got != nil {
+		t.Fatalf("empty plan: %v, %v", got, err)
+	}
+}
+
+func TestCollectTypeMismatch(t *testing.T) {
+	p := &Plan{}
+	p.Add("str", func() (any, error) { return "not an int", nil })
+	if _, err := Collect[int](p, 1); err == nil {
+		t.Fatal("type mismatch not reported")
+	}
+}
+
+func TestDefaultJobs(t *testing.T) {
+	if got := DefaultJobs(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default jobs %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	SetDefaultJobs(5)
+	defer SetDefaultJobs(0)
+	if got := DefaultJobs(); got != 5 {
+		t.Fatalf("override jobs %d, want 5", got)
+	}
+	SetDefaultJobs(0)
+	if got := DefaultJobs(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("reset jobs %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+// TestSeedForStableAndSeparated checks SeedFor is a pure function of
+// (base, key) and that nearby keys and bases yield distinct seeds.
+func TestSeedForStableAndSeparated(t *testing.T) {
+	if SeedFor(1, "fig8/SandyBridge") != SeedFor(1, "fig8/SandyBridge") {
+		t.Fatal("SeedFor not deterministic")
+	}
+	seen := map[uint64]string{}
+	for base := uint64(0); base < 4; base++ {
+		for _, key := range []string{"a", "b", "fig5/0", "fig5/1", ""} {
+			s := SeedFor(base, key)
+			id := fmt.Sprintf("%d/%s", base, key)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision between %s and %s", prev, id)
+			}
+			seen[s] = id
+		}
+	}
+}

@@ -71,6 +71,10 @@ type Report struct {
 	// Clients aggregates per-client energy usage (AssignClients), sorted
 	// by descending energy.
 	Clients []ClientUsage
+	// Audited records whether the run executed under the runtime
+	// invariant auditor (WithAudit or PC_AUDIT); an audited report with no
+	// error from Execute passed every invariant check.
+	Audited bool
 }
 
 // ClientUsage is one client principal's accounted usage over the window.
@@ -122,6 +126,7 @@ func (r *Run) buildReport(t0, t1 sim.Time, accJ, bgJ float64) (*Report, error) {
 		MeasuredActiveWatts: measured,
 		AccountedWatts:      accJ / windowSec,
 		BackgroundWatts:     bgJ / windowSec,
+		Audited:             m.Audit != nil,
 	}
 
 	var totalResp time.Duration

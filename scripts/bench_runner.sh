@@ -1,0 +1,10 @@
+#!/bin/sh
+# Refreshes BENCH_runner.json: wall-clock of the whole-registry run
+# (`pcbench all`) serially vs through the parallel runner, plus the
+# measured speedup at jobs = max(GOMAXPROCS, 4). Pass -short for the
+# trimmed experiment subset. Extra args go to `go test`.
+set -e
+cd "$(dirname "$0")/.."
+BENCH_RUNNER_OUT="$PWD/BENCH_runner.json" \
+	go test -run='^$' -bench='^BenchmarkRegistryParallel$' -benchtime=1x "$@" .
+cat BENCH_runner.json

@@ -67,6 +67,7 @@ type config struct {
 	approach Attribution
 	seed     uint64
 	capWatts float64
+	audit    bool
 }
 
 // WithAttribution selects the attribution approach.
@@ -84,11 +85,21 @@ func WithPowerCap(activeWatts float64) Option {
 	return func(c *config) { c.capWatts = activeWatts }
 }
 
+// WithAudit attaches the runtime invariant auditor to the System's
+// machine regardless of PC_AUDIT, with a collector private to this
+// System: concurrent audited systems never interleave violation lists.
+// Violations surface as errors from Run.Execute and are also readable via
+// System.AuditViolations.
+func WithAudit() Option { return func(c *config) { c.audit = true } }
+
 // System is one simulated machine instrumented with the power-container
 // facility, calibrated offline per §4.1.
 type System struct {
 	m   *experiments.Machine
 	cfg config
+	// auditC is the System's private audit collector (WithAudit), nil
+	// when the system relies on the process default (PC_AUDIT).
+	auditC *experiments.AuditCollector
 }
 
 // Machines lists the supported machine models.
@@ -123,18 +134,35 @@ func NewSystem(machine string, opts ...Option) (*System, error) {
 	default:
 		return nil, fmt.Errorf("powercontainers: unknown attribution %d", cfg.approach)
 	}
-	m, err := experiments.NewMachine(spec, approach, cfg.seed)
+	var as experiments.Assembly
+	var auditC *experiments.AuditCollector
+	if cfg.audit {
+		auditC = experiments.NewAuditCollector(true)
+		as.Audit = auditC
+	}
+	m, err := as.NewMachine(spec, approach, cfg.seed)
 	if err != nil {
 		return nil, err
 	}
 	if cfg.capWatts > 0 {
 		m.Fac.EnableConditioning(cfg.capWatts)
 	}
-	return &System{m: m, cfg: cfg}, nil
+	return &System{m: m, cfg: cfg, auditC: auditC}, nil
 }
 
 // MachineName returns the machine model.
 func (s *System) MachineName() string { return s.m.K.Spec.Name }
+
+// AuditViolations returns the invariant violations collected by this
+// System's auditor (WithAudit), formatted one per entry. It is empty for
+// a clean or un-audited system.
+func (s *System) AuditViolations() []string {
+	var out []string
+	for _, v := range s.auditC.Violations() {
+		out = append(out, v.String())
+	}
+	return out
+}
 
 // Cores returns the machine's core count.
 func (s *System) Cores() int { return s.m.K.Spec.Cores() }
