@@ -52,12 +52,14 @@ func main() {
 		}
 	}
 
+	//pclint:allow detlint wall-clock timing summary for the operator, not experiment output
 	start := time.Now()
 	runs, err := powercontainers.RunExperiments(ids, *seed, *jobs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pcbench: %v\n", err)
 		os.Exit(1)
 	}
+	//pclint:allow detlint wall-clock timing summary for the operator, not experiment output
 	wall := time.Since(start)
 
 	for _, r := range runs {

@@ -1,0 +1,108 @@
+// Command pclint runs the repo's custom analyzer suite (detlint, maporder,
+// hooklint, floatsafe) over Go packages. It speaks the `go vet -vettool`
+// unitchecker protocol, so the canonical invocations are:
+//
+//	go build -o bin/pclint ./cmd/pclint
+//	go vet -vettool=$PWD/bin/pclint ./...
+//
+// As a convenience, invoking it directly with package patterns re-executes
+// itself through go vet:
+//
+//	pclint ./...
+//
+// Diagnostics can be suppressed per line with
+//
+//	//pclint:allow <analyzer> <reason>
+//
+// on the offending line or the line immediately above.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+
+	"powercontainers/internal/analysis"
+	"powercontainers/internal/analysis/pclint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	suite := pclint.Suite()
+	if len(args) == 0 || args[0] == "help" || args[0] == "-h" || args[0] == "--help" {
+		usage(suite)
+		return 0
+	}
+	for _, a := range args {
+		switch {
+		case a == "-V=full":
+			return printVersion()
+		case a == "-flags":
+			// No analyzer flags; tell the build system so.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return analysis.RunUnit(args[0], suite)
+	}
+	// Treat the arguments as package patterns and delegate to go vet,
+	// pointing it back at this executable as the vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// printVersion implements the -V=full build-caching handshake: the output
+// must change whenever the tool's behavior might, so it hashes the
+// executable itself.
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return 0
+}
+
+func usage(suite []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "pclint enforces the repo's determinism, hook-seam, and numeric-safety invariants.\n\n")
+	fmt.Fprintf(os.Stderr, "usage:\n  pclint ./...                 # lint package patterns (delegates to go vet)\n")
+	fmt.Fprintf(os.Stderr, "  go vet -vettool=pclint ./... # explicit vettool form\n\nanalyzers:\n")
+	for _, a := range suite {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+	}
+	fmt.Fprintf(os.Stderr, "\nsuppress a finding with `//pclint:allow <analyzer> <reason>` on the\noffending line or the line above.\n")
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// repoRoot resolves the module root from the test's working directory
+// (cmd/pclint).
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// buildPclint compiles the multichecker into a temporary directory.
+func buildPclint(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pclint")
+	cmd := exec.Command("go", "build", "-o", bin, "powercontainers/cmd/pclint")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/pclint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func TestVersionHandshake(t *testing.T) {
+	bin := buildPclint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("pclint -V=full: %v", err)
+	}
+	// The go command requires `<name> version <words...> buildID=<hex>`.
+	re := regexp.MustCompile(`^\S+ version devel comments-go-here buildID=[0-9a-f]{64}\n$`)
+	if !re.Match(out) {
+		t.Errorf("-V=full output %q does not match the vettool handshake", out)
+	}
+}
+
+func TestFlagsHandshake(t *testing.T) {
+	bin := buildPclint(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("pclint -flags: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("-flags printed %q, want []", out)
+	}
+}
+
+func TestVetCleanPackage(t *testing.T) {
+	bin := buildPclint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/export")
+	cmd.Dir = repoRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool over a clean package failed: %v\n%s", err, out)
+	}
+}
+
+// TestVetFlagsViolation builds a throwaway module whose package lands in
+// detlint's scope and holds a wall-clock call, and checks that the
+// vettool run fails with the expected diagnostic.
+func TestVetFlagsViolation(t *testing.T) {
+	bin := buildPclint(t)
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module tmpmod\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg := filepath.Join(mod, "experiments")
+	if err := os.Mkdir(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := `package experiments
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(pkg, "exp.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed over a violating module:\n%s", out)
+	}
+	if !strings.Contains(string(out), "wall-clock call time.Now") {
+		t.Errorf("vet output lacks the detlint diagnostic:\n%s", out)
+	}
+}

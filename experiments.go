@@ -78,11 +78,13 @@ func RunExperiments(ids []string, seed uint64, jobs int) ([]ExperimentRun, error
 		resolved[i] = e
 	}
 	runOne := func(e experiments.Experiment) (ExperimentRun, error) {
+		//pclint:allow detlint Elapsed is operator-facing wall-clock telemetry, not experiment output
 		start := time.Now()
 		r, err := e.Run(experiments.NewRunExec(jobs), seed)
 		if err != nil {
 			return ExperimentRun{}, fmt.Errorf("experiment %s: %w", e.ID, err)
 		}
+		//pclint:allow detlint Elapsed is operator-facing wall-clock telemetry, not experiment output
 		return ExperimentRun{ID: e.ID, Output: r.Render(), Elapsed: time.Since(start)}, nil
 	}
 	out := make([]ExperimentRun, len(resolved))

@@ -1,0 +1,124 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary (Analyzer, Pass, Diagnostic)
+// plus the repo-specific plumbing shared by the pclint analyzers:
+// package-scope matching, guard-fact tracking, and the //pclint:allow
+// suppression directive.
+//
+// The x/tools module is deliberately not imported: the reproduction builds
+// offline with only the standard library, so the framework speaks the
+// "go vet -vettool" unitchecker protocol itself (see unit.go) and loads
+// test fixtures with its own loader (see the analysistest subpackage).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check. Run inspects a single
+// type-checked package via the Pass and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //pclint:allow directives. It must be a valid identifier.
+	Name string
+	// Doc is a short description shown by `pclint help`.
+	Doc string
+	// Run performs the analysis on one package.
+	Run func(*Pass) error
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass provides one analyzer with the syntax and type information of a
+// single package, and a sink for its diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos, attributed to the pass's analyzer.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	f := p.Fset.File(pos)
+	return f != nil && strings.HasSuffix(f.Name(), "_test.go")
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// RunAnalyzers executes each analyzer over the package and returns the raw
+// (unsuppressed) diagnostics sorted by position. Analyzer errors are
+// returned combined; diagnostics gathered before an error are kept.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, suite []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, a := range suite {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			errs = append(errs, fmt.Sprintf("%s: %v", a.Name, err))
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("%s", strings.Join(errs, "; "))
+	}
+	return diags, nil
+}
+
+// PathMatch reports whether a package path is in an analyzer's scope:
+// either an exact path in exact, or a path whose final segment is in last.
+// Build-system decorations are normalized away first, so the test variants
+// "p [p.test]", "p.test", and the external test package "p_test" all match
+// the scope of p.
+func PathMatch(pkgPath string, exact, last []string) bool {
+	path := NormalizePkgPath(pkgPath)
+	for _, e := range exact {
+		if path == e {
+			return true
+		}
+	}
+	seg := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		seg = path[i+1:]
+	}
+	for _, l := range last {
+		if seg == l {
+			return true
+		}
+	}
+	return false
+}
+
+// NormalizePkgPath strips go-command test-variant decorations from a
+// package path: "p [q.test]" → "p", "p.test" → "p", "p_test" → "p".
+func NormalizePkgPath(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import "testing"
+
+func TestPathMatch(t *testing.T) {
+	exact := []string{"powercontainers"}
+	last := []string{"experiments", "sim"}
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"powercontainers", true},
+		{"powercontainers/internal/experiments", true},
+		{"powercontainers/internal/experiments [powercontainers/internal/experiments.test]", true},
+		{"powercontainers/internal/experiments.test", true},
+		{"powercontainers/internal/experiments_test", true},
+		{"experiments", true},
+		{"powercontainers/internal/model", false},
+		{"powercontainers/internal/export", false},
+		{"other/experimentsuffix", false},
+	}
+	for _, c := range cases {
+		if got := PathMatch(c.path, exact, last); got != c.want {
+			t.Errorf("PathMatch(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestNormalizePkgPath(t *testing.T) {
+	cases := [][2]string{
+		{"p", "p"},
+		{"p [q.test]", "p"},
+		{"p.test", "p"},
+		{"p_test", "p"},
+		{"a/b/c [a/b/c.test]", "a/b/c"},
+	}
+	for _, c := range cases {
+		if got := NormalizePkgPath(c[0]); got != c[1] {
+			t.Errorf("NormalizePkgPath(%q) = %q, want %q", c[0], got, c[1])
+		}
+	}
+}

@@ -1,0 +1,326 @@
+// Package analysistest runs a pclint analyzer over a fixture package under
+// testdata/src and checks its (suppression-filtered) diagnostics against
+// `// want "regexp"` expectations embedded in the fixture, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture packages may import the standard library (resolved through the
+// go command's export data) and sibling fixture packages under the same
+// testdata/src root (type-checked from source).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"powercontainers/internal/analysis"
+	"powercontainers/internal/analysis/pclint"
+)
+
+// Run loads testdata/src/<pkg> (relative to the test's working directory,
+// i.e. the analyzer package), runs the analyzer over it, applies the
+// //pclint:allow suppression filter with the full suite's analyzer names,
+// and compares the surviving diagnostics against the fixture's `// want`
+// expectations.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	ld, err := newLoader(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset, files, typesPkg, info, err := ld.loadTarget(pkg)
+	if err != nil {
+		t.Fatalf("analysistest: load %s: %v", pkg, err)
+	}
+
+	diags, err := analysis.RunAnalyzers(fset, files, typesPkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: run %s on %s: %v", a.Name, pkg, err)
+	}
+	diags = analysis.Filter(fset, files, diags, analysis.KnownSet(pclint.Suite()))
+	checkExpectations(t, fset, files, diags)
+}
+
+// checkExpectations matches diagnostics against `// want` comments by
+// file and line.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type loc struct {
+		file string
+		line int
+	}
+	remaining := make(map[loc][]analysis.Diagnostic)
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := loc{posn.Filename, posn.Line}
+		remaining[k] = append(remaining[k], d)
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				patterns, perr := wantPatterns(c.Text)
+				if perr != nil {
+					t.Errorf("%s: %v", fset.Position(c.Pos()), perr)
+					continue
+				}
+				if len(patterns) == 0 {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				k := loc{posn.Filename, posn.Line}
+				for _, re := range patterns {
+					matched := false
+					for i, d := range remaining[k] {
+						if re.MatchString(d.Message) {
+							remaining[k] = append(remaining[k][:i], remaining[k][i+1:]...)
+							matched = true
+							break
+						}
+					}
+					if !matched {
+						t.Errorf("%s: expected diagnostic matching %q, got none", posn, re)
+					}
+				}
+			}
+		}
+	}
+	var leftover []string
+	for k, ds := range remaining {
+		for _, d := range ds {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: unexpected diagnostic: %s: %s", k.file, k.line, d.Analyzer, d.Message))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Error(l)
+	}
+}
+
+// wantPatterns extracts the `// want "re" `+"`re`"+` ...` expectations
+// embedded anywhere in a comment's text (so a want may trail a
+// //pclint:allow directive on the same line).
+func wantPatterns(comment string) ([]*regexp.Regexp, error) {
+	idx := strings.Index(comment, "// want ")
+	if idx < 0 {
+		return nil, nil
+	}
+	rest := strings.TrimSpace(comment[idx+len("// want "):])
+	var out []*regexp.Regexp
+	for rest != "" {
+		var lit string
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated string in want expectation: %s", rest)
+			}
+			unq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, fmt.Errorf("bad want expectation %s: %v", rest[:end+1], err)
+			}
+			lit, rest = unq, strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated raw string in want expectation: %s", rest)
+			}
+			lit, rest = rest[1:1+end], strings.TrimSpace(rest[2+end:])
+		default:
+			return nil, fmt.Errorf("want expectation must be a quoted regexp, got: %s", rest)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", lit, err)
+		}
+		out = append(out, re)
+	}
+	return out, nil
+}
+
+// loader type-checks fixture packages, resolving imports first against
+// sibling fixture directories and then against the standard library.
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*types.Package
+	exports map[string]string // std package path → export data file
+	gcImp   types.Importer
+}
+
+func newLoader(src string) (*loader, error) {
+	ld := &loader{
+		src:  src,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*types.Package),
+	}
+	stdPaths, err := ld.scanStdImports()
+	if err != nil {
+		return nil, err
+	}
+	ld.exports, err = stdExportData(stdPaths)
+	if err != nil {
+		return nil, err
+	}
+	ld.gcImp = importer.ForCompiler(ld.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := ld.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ld, nil
+}
+
+// scanStdImports walks the whole fixture tree and collects every import
+// path that is not a sibling fixture package — those must come from the
+// standard library.
+func (ld *loader) scanStdImports() ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(ld.src, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		f, perr := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if perr != nil {
+			return perr
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if fi, serr := os.Stat(filepath.Join(ld.src, p)); serr == nil && fi.IsDir() {
+				continue // sibling fixture package
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := ld.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.src, path)); err == nil && fi.IsDir() {
+		pkg, _, _, err := ld.typecheck(path)
+		return pkg, err
+	}
+	return ld.gcImp.Import(path)
+}
+
+func (ld *loader) loadTarget(path string) (*token.FileSet, []*ast.File, *types.Package, *types.Info, error) {
+	pkg, files, info, err := ld.typecheck(path)
+	return ld.fset, files, pkg, info, err
+}
+
+func (ld *loader) typecheck(path string) (*types.Package, []*ast.File, *types.Info, error) {
+	dir := filepath.Join(ld.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	tc := &types.Config{
+		Importer: ld,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := tc.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ld.pkgs[path] = pkg
+	return pkg, files, info, nil
+}
+
+var (
+	stdExportMu    sync.Mutex
+	stdExportCache = map[string]map[string]string{}
+)
+
+// stdExportData compiles the named standard-library packages (and their
+// dependencies) via the go command and returns package path → export data
+// file. Results are cached per path set for the test process.
+func stdExportData(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	key := strings.Join(paths, ",")
+	stdExportMu.Lock()
+	defer stdExportMu.Unlock()
+	if m, ok := stdExportCache[key]; ok {
+		return m, nil
+	}
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, paths...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	m := make(map[string]string)
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	stdExportCache[key] = m
+	return m, nil
+}

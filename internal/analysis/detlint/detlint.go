@@ -1,0 +1,95 @@
+// Package detlint flags nondeterminism sources — wall-clock reads, the
+// global math/rand generator, and hard-coded RNG seeds — in the packages
+// whose output must be byte-identical across runs and -jobs counts.
+package detlint
+
+import (
+	"go/ast"
+	"strings"
+
+	"powercontainers/internal/analysis"
+)
+
+// Scope: the simulation core, the experiment harness and renderers, the
+// export layer, the parallel runner, the (sim-driven) kernel, and the
+// CLI binaries that render experiment output.
+var (
+	scopeExact = []string{"powercontainers"}
+	scopeLast  = []string{"sim", "experiments", "export", "runner", "kernel", "pcbench", "pcreport", "pctrace", "pccalib"}
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "detlint",
+	Doc: "flags time.Now/Since/Until, math/rand, and hard-coded sim.NewRand seeds " +
+		"in deterministic paths; seeds must derive via runner.SeedFor",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatch(pass.Pkg.Path(), scopeExact, scopeLast) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		isTest := pass.IsTestFile(file.Pos())
+		for _, imp := range file.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s: the global generator is nondeterministic across runs; use sim.Rand seeded via runner.SeedFor", path)
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn.pkgPath == "" {
+				return true
+			}
+			if fn.pkgPath == "time" {
+				switch fn.name {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(), "wall-clock call time.%s in a deterministic path; derive timing from sim.Clock (or annotate //pclint:allow detlint <reason> if intentionally wall-clock)", fn.name)
+				}
+				return true
+			}
+			if fn.name == "NewRand" && lastSegment(fn.pkgPath) == "sim" && !isTest && len(call.Args) == 1 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil {
+					pass.Reportf(call.Pos(), "sim.NewRand with hard-coded seed %s: derive job seeds via runner.SeedFor(base, key) so parallel cells stay independent", tv.Value)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// calleeInfo identifies the package-level function a call resolves to.
+type calleeInfo struct {
+	pkgPath string
+	name    string
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) calleeInfo {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return calleeInfo{}
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return calleeInfo{}
+	}
+	return calleeInfo{pkgPath: obj.Pkg().Path(), name: obj.Name()}
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,16 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "experiments")
+}
+
+func TestDetlintOutOfScope(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "other")
+}

@@ -1,0 +1,43 @@
+// Package experiments is a detlint fixture named after the real experiment
+// harness so it lands in the analyzer's scope.
+package experiments
+
+import (
+	"math/rand" // want `import of math/rand: the global generator is nondeterministic`
+	"time"
+
+	"sim"
+)
+
+// WallClock trips both wall-clock rules.
+func WallClock() time.Duration {
+	start := time.Now()      // want `wall-clock call time\.Now`
+	return time.Since(start) // want `wall-clock call time\.Since`
+}
+
+// Deadline trips the remaining wall-clock entry point.
+func Deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `wall-clock call time\.Until`
+}
+
+// GlobalRand uses the (already-flagged) global generator import.
+func GlobalRand() int { return rand.Int() }
+
+// HardSeed constructs a generator from a literal seed.
+func HardSeed() *sim.Rand {
+	return sim.NewRand(42) // want `hard-coded seed 42`
+}
+
+// DerivedSeed threads a caller-provided seed; this is the sanctioned shape.
+func DerivedSeed(seed uint64) *sim.Rand {
+	return sim.NewRand(seed)
+}
+
+// NotTime calls a same-named method on a non-time type; detlint must not
+// confuse it with time.Now.
+type clock struct{}
+
+func (clock) Now() int { return 0 }
+
+// NotWallClock exercises the non-time Now.
+func NotWallClock() int { return clock{}.Now() }

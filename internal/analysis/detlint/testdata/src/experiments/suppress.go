@@ -1,0 +1,38 @@
+package experiments
+
+import "time"
+
+// AllowedTrailing suppresses with a trailing directive on the offending
+// line.
+func AllowedTrailing() time.Time {
+	return time.Now() //pclint:allow detlint fixture exercises trailing suppression
+}
+
+// AllowedAbove suppresses with a directive on the line immediately above.
+func AllowedAbove() time.Time {
+	//pclint:allow detlint fixture exercises own-line suppression
+	return time.Now()
+}
+
+// WrongAnalyzer names a real analyzer that did not produce the finding;
+// the detlint diagnostic must still fire.
+func WrongAnalyzer() time.Time {
+	//pclint:allow maporder directive names the wrong analyzer
+	return time.Now() // want `wall-clock call time\.Now`
+}
+
+// MissingReason omits the mandatory reason: the finding fires and the
+// directive itself is reported as malformed.
+func MissingReason() time.Time {
+	return time.Now() //pclint:allow detlint // want `wall-clock call time\.Now` `missing reason`
+}
+
+// UnknownAnalyzer names an analyzer outside the suite.
+func UnknownAnalyzer() time.Time {
+	return time.Now() //pclint:allow nosuch because reasons // want `wall-clock call time\.Now` `unknown analyzer "nosuch"`
+}
+
+// BareDirective has neither analyzer nor reason.
+func BareDirective() time.Time {
+	return time.Now() //pclint:allow // want `wall-clock call time\.Now` `missing analyzer name and reason`
+}

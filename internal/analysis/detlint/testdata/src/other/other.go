@@ -1,0 +1,9 @@
+// Package other is outside every detlint scope; nothing here may be
+// flagged.
+package other
+
+import "time"
+
+// WallClock may read the wall clock freely outside the deterministic
+// packages.
+func WallClock() time.Time { return time.Now() }

@@ -1,0 +1,16 @@
+// Package sim is a minimal stand-in for the real simulation core: just
+// enough surface for detlint's hard-coded-seed rule to resolve the
+// sim.NewRand constructor.
+package sim
+
+// Rand is a deterministic generator stub.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 advances the stub state.
+func (r *Rand) Uint64() uint64 {
+	r.state++
+	return r.state
+}

@@ -1,0 +1,114 @@
+// Package floatsafe enforces the numeric-safety conventions of the model
+// fitting and power accounting packages:
+//
+//   - no exact ==/!= comparison of floating-point values (bitwise float
+//     equality is reserved for deliberately exact idioms, which must carry
+//     a //pclint:allow floatsafe annotation explaining the exactness), and
+//   - no division by a non-constant float denominator unless every
+//     variable of the denominator is mentioned by a dominating branch
+//     condition (a zero/finite guard), so power and energy quantities
+//     cannot silently become NaN or ±Inf and bypass the pipeline's
+//     finite-value guards.
+package floatsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"powercontainers/internal/analysis"
+)
+
+var (
+	scopeExact []string
+	scopeLast  = []string{"model", "align", "linalg", "power"}
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatsafe",
+	Doc: "flags exact float ==/!= comparisons and unguarded float divisions in " +
+		"the numeric packages (model, align, linalg, power)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatch(pass.Pkg.Path(), scopeExact, scopeLast) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// Tests intentionally compare floats bit-for-bit to assert
+			// determinism; the production invariants live in non-test code.
+			continue
+		}
+		analysis.WalkWithFacts(file, func(n ast.Node, facts []analysis.Fact) {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isFloat(pass.TypesInfo.TypeOf(be.X)) && isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+					pass.Reportf(be.Pos(), "exact float comparison %s %s %s; compare with a tolerance, or annotate //pclint:allow floatsafe <why exactness is correct>", types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+				}
+			case token.QUO:
+				if !isFloat(pass.TypesInfo.TypeOf(be)) {
+					return
+				}
+				den := be.Y
+				if tv, ok := pass.TypesInfo.Types[den]; ok && tv.Value != nil {
+					return // constant denominator
+				}
+				if guarded(pass, den, facts) {
+					return
+				}
+				pass.Reportf(be.Pos(), "division by %s with no dominating guard on the denominator; check it (!= 0, > 0, isFinite) before dividing, or annotate //pclint:allow floatsafe <reason>", types.ExprString(den))
+			}
+		})
+	}
+	return nil
+}
+
+// guarded reports whether every variable appearing in the denominator is
+// mentioned by some dominating branch condition. A denominator with no
+// variables at all (say, a bare function call) can never be guarded by
+// mention — hoist it into a local and check that instead.
+func guarded(pass *analysis.Pass, den ast.Expr, facts []analysis.Fact) bool {
+	vars := denominatorVars(pass, den)
+	if len(vars) == 0 {
+		return false
+	}
+	mentioned := analysis.FactIdentNames(facts)
+	for v := range vars {
+		if !mentioned[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// denominatorVars collects the names of identifiers in the denominator
+// that resolve to variables (locals, params, fields). Constants, package
+// names, types, and functions do not need guarding.
+func denominatorVars(pass *analysis.Pass, den ast.Expr) map[string]bool {
+	vars := make(map[string]bool)
+	ast.Inspect(den, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if _, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar {
+			vars[id.Name] = true
+		}
+		return true
+	})
+	return vars
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

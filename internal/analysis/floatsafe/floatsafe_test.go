@@ -1,0 +1,16 @@
+package floatsafe_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/floatsafe"
+)
+
+func TestFloatsafe(t *testing.T) {
+	analysistest.Run(t, floatsafe.Analyzer, "model")
+}
+
+func TestFloatsafeOutOfScope(t *testing.T) {
+	analysistest.Run(t, floatsafe.Analyzer, "other")
+}

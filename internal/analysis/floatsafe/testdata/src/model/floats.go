@@ -1,0 +1,65 @@
+// Package model is a floatsafe fixture named after the real model package
+// so it lands in the analyzer's scope.
+package model
+
+// EqualExact compares floats bit-for-bit.
+func EqualExact(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+// NotEqualExact is the negated form.
+func NotEqualExact(a, b float64) bool {
+	return a != b // want `exact float comparison a != b`
+}
+
+// EqualInts is fine: integers compare exactly.
+func EqualInts(a, b int) bool { return a == b }
+
+// DivideUnguarded divides by an unchecked denominator.
+func DivideUnguarded(x, y float64) float64 {
+	return x / y // want `division by y with no dominating guard`
+}
+
+// DivideGuarded checks the denominator before dividing.
+func DivideGuarded(x, y float64) float64 {
+	if y > 0 {
+		return x / y
+	}
+	return 0
+}
+
+// DivideEarlyReturn rejects a bad denominator up front; the negated guard
+// dominates the rest of the function.
+func DivideEarlyReturn(x, y float64) float64 {
+	if y <= 0 {
+		return 0
+	}
+	return x / y
+}
+
+// DivideConstant is fine: constant denominators cannot surprise.
+func DivideConstant(x float64) float64 { return x / 2 }
+
+// PartialGuard checks only one of the denominator's variables, which does
+// not count as a dominating guard of the product.
+func PartialGuard(x, y, z float64) float64 {
+	if y > 0 {
+		return x / (y * z) // want `division by \(y \* z\) with no dominating guard`
+	}
+	return 0
+}
+
+// SuppressedSentinel compares against a documented exact sentinel.
+func SuppressedSentinel(w float64) float64 {
+	//pclint:allow floatsafe zero is the documented unset sentinel of this weight
+	if w == 0 {
+		return 1
+	}
+	return w
+}
+
+// SuppressedDivide divides by a quantity positive by construction.
+func SuppressedDivide(x float64, n int) float64 {
+	//pclint:allow floatsafe n is a non-negative count so the denominator is at least 1
+	return x / float64(1+n)
+}

@@ -1,0 +1,5 @@
+package model
+
+// exactInTest is in a _test.go file: tests intentionally compare floats
+// bit-for-bit to assert determinism, so floatsafe must stay silent here.
+func exactInTest(a, b float64) bool { return a == b }

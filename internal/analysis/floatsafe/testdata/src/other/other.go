@@ -1,0 +1,11 @@
+// Package other is outside every floatsafe scope; exact comparisons and
+// unguarded divisions pass here.
+package other
+
+// Ratio divides without a guard.
+func Ratio(a, b float64) float64 {
+	if a == b {
+		return 1
+	}
+	return a / b
+}

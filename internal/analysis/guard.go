@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Fact is one branch condition known to hold at a program point. If
+// Negated is false the condition itself holds (we are inside the taken
+// branch); if Negated is true its negation holds (we are past an early
+// return, or inside an else branch).
+type Fact struct {
+	Cond    ast.Expr
+	Negated bool
+}
+
+// WalkWithFacts traverses every function body in the file and calls visit
+// for each expression node together with the branch facts in scope at that
+// point. The tracking is a deliberately simple lexical approximation of
+// dominance — sound enough for lint, with //pclint:allow as the escape
+// hatch — covering:
+//
+//   - if bodies and else branches (including `if init; cond` forms),
+//   - short-circuit && and || operands,
+//   - the remainder of a block after `if bad { return/continue/... }`,
+//   - the remainder of a block after `if bad { x = ... }` (a repair
+//     branch that reassigns a variable mentioned in the condition),
+//   - for-loop conditions inside the loop body.
+//
+// Facts are not invalidated by later reassignment, and function literals
+// inherit the facts of their creation site.
+func WalkWithFacts(file *ast.File, visit func(n ast.Node, facts []Fact)) {
+	w := &factWalker{visit: visit}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				w.facts = w.facts[:0]
+				w.stmt(d.Body)
+			}
+		case *ast.GenDecl:
+			// Package-level var initializers.
+			w.facts = w.facts[:0]
+			for _, spec := range d.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	}
+}
+
+type factWalker struct {
+	visit func(ast.Node, []Fact)
+	facts []Fact
+}
+
+func (w *factWalker) push(f Fact) int {
+	w.facts = append(w.facts, f)
+	return len(w.facts) - 1
+}
+
+func (w *factWalker) truncate(n int) { w.facts = w.facts[:n] }
+
+func (w *factWalker) stmtList(list []ast.Stmt) {
+	mark := len(w.facts)
+	for _, s := range list {
+		w.stmt(s)
+		// An `if bad { ... }` whose body cannot fall through — or which
+		// repairs a variable named in the condition — establishes the
+		// negation of the condition for the rest of this block.
+		if ifs, ok := s.(*ast.IfStmt); ok && ifs.Cond != nil {
+			if terminates(ifs.Body) || reassignsCondVar(ifs.Body, ifs.Cond) {
+				w.push(Fact{Cond: ifs.Cond, Negated: true})
+			}
+		}
+	}
+	w.truncate(mark)
+}
+
+func (w *factWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmtList(s.List)
+	case *ast.IfStmt:
+		w.stmt(s.Init)
+		w.expr(s.Cond)
+		mark := w.push(Fact{Cond: s.Cond})
+		w.stmt(s.Body)
+		w.truncate(mark)
+		if s.Else != nil {
+			mark := w.push(Fact{Cond: s.Cond, Negated: true})
+			w.stmt(s.Else)
+			w.truncate(mark)
+		}
+	case *ast.ForStmt:
+		w.stmt(s.Init)
+		mark := len(w.facts)
+		if s.Cond != nil {
+			w.expr(s.Cond)
+			w.push(Fact{Cond: s.Cond})
+		}
+		w.stmt(s.Post)
+		w.stmt(s.Body)
+		w.truncate(mark)
+	case *ast.RangeStmt:
+		w.expr(s.Key)
+		w.expr(s.Value)
+		w.expr(s.X)
+		w.stmt(s.Body)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init)
+		w.expr(s.Tag)
+		w.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init)
+		w.stmt(s.Assign)
+		w.stmt(s.Body)
+	case *ast.SelectStmt:
+		w.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e)
+		}
+		w.stmtList(s.Body)
+	case *ast.CommClause:
+		w.stmt(s.Comm)
+		w.stmtList(s.Body)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		w.expr(s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e)
+		}
+	case *ast.DeferStmt:
+		w.expr(s.Call)
+	case *ast.GoStmt:
+		w.expr(s.Call)
+	case *ast.SendStmt:
+		w.expr(s.Chan)
+		w.expr(s.Value)
+	case *ast.IncDecStmt:
+		w.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt:
+	}
+}
+
+func (w *factWalker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.visit(e, w.facts)
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			w.expr(e.X)
+			mark := w.push(Fact{Cond: e.X})
+			w.expr(e.Y)
+			w.truncate(mark)
+		case token.LOR:
+			w.expr(e.X)
+			mark := w.push(Fact{Cond: e.X, Negated: true})
+			w.expr(e.Y)
+			w.truncate(mark)
+		default:
+			w.expr(e.X)
+			w.expr(e.Y)
+		}
+	case *ast.ParenExpr:
+		w.expr(e.X)
+	case *ast.UnaryExpr:
+		w.expr(e.X)
+	case *ast.StarExpr:
+		w.expr(e.X)
+	case *ast.SelectorExpr:
+		w.expr(e.X)
+	case *ast.IndexExpr:
+		w.expr(e.X)
+		w.expr(e.Index)
+	case *ast.IndexListExpr:
+		w.expr(e.X)
+		for _, i := range e.Indices {
+			w.expr(i)
+		}
+	case *ast.SliceExpr:
+		w.expr(e.X)
+		w.expr(e.Low)
+		w.expr(e.High)
+		w.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		w.expr(e.X)
+	case *ast.CallExpr:
+		w.expr(e.Fun)
+		for _, a := range e.Args {
+			w.expr(a)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			w.expr(el)
+		}
+	case *ast.KeyValueExpr:
+		w.expr(e.Key)
+		w.expr(e.Value)
+	case *ast.FuncLit:
+		// The literal body runs later; treating creation-site facts as
+		// still valid is the documented approximation.
+		w.stmt(e.Body)
+	}
+}
+
+// terminates reports whether the block cannot fall through: its last
+// statement is a return, branch, panic, os.Exit, log.Fatal*, or
+// (testing.TB).Fatal*/Skip* call.
+func terminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	switch s := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			return fun.Name == "panic"
+		case *ast.SelectorExpr:
+			switch fun.Sel.Name {
+			case "Exit", "Fatal", "Fatalf", "Fatalln", "Skip", "Skipf", "SkipNow", "Goexit":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reassignsCondVar reports whether the block assigns to an identifier that
+// appears in cond — the `if x == 0 { x = 1 }` repair idiom.
+func reassignsCondVar(b *ast.BlockStmt, cond ast.Expr) bool {
+	names := map[string]bool{}
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names[id.Name] = true
+		}
+		return true
+	})
+	if len(names) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(b, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && names[id.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// NilGuarded reports whether the facts establish that the expression whose
+// printed form is exprStr is non-nil: a positive conjunct `expr != nil`,
+// or the negation of a disjunct `expr == nil`.
+func NilGuarded(facts []Fact, exprStr string) bool {
+	for _, f := range facts {
+		if factEstablishesNonNil(f.Cond, f.Negated, exprStr) {
+			return true
+		}
+	}
+	return false
+}
+
+func factEstablishesNonNil(cond ast.Expr, negated bool, exprStr string) bool {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if !negated && be.Op == token.LAND {
+		return factEstablishesNonNil(be.X, false, exprStr) || factEstablishesNonNil(be.Y, false, exprStr)
+	}
+	if negated && be.Op == token.LOR {
+		return factEstablishesNonNil(be.X, true, exprStr) || factEstablishesNonNil(be.Y, true, exprStr)
+	}
+	want := token.NEQ
+	if negated {
+		want = token.EQL
+	}
+	if be.Op != want {
+		return false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	return (isNilIdent(y) && types.ExprString(x) == exprStr) ||
+		(isNilIdent(x) && types.ExprString(y) == exprStr)
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// FactIdentNames returns the set of identifier names appearing anywhere
+// in the facts' conditions. It is the generous "the code thought about
+// this value" test used by floatsafe: a dominating branch that mentions
+// every variable of a denominator — whatever the exact comparison shape —
+// counts as a guard on it.
+func FactIdentNames(facts []Fact) map[string]bool {
+	names := make(map[string]bool)
+	for _, f := range facts {
+		ast.Inspect(f.Cond, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				names[id.Name] = true
+			}
+			return true
+		})
+	}
+	return names
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"testing"
+)
+
+const guardSrc = `package p
+
+type I interface{ M() }
+
+func f1(h I, ok bool) {
+	probe("top")
+	if h != nil {
+		probe("pos")
+	} else {
+		probe("pos-else")
+	}
+	if h != nil && ok {
+		probe("and")
+	}
+	if h == nil || ok {
+		probe("or")
+	}
+}
+
+func f2(h I) {
+	if h == nil {
+		probe("neg-then")
+		return
+	}
+	probe("after-return")
+	g := func() { probe("closure") }
+	g()
+}
+
+func probe(string) {}
+`
+
+// collectProbeFacts maps each probe label to the facts in scope at its
+// call site.
+func collectProbeFacts(t *testing.T) map[string][]Fact {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", guardSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string][]Fact{}
+	WalkWithFacts(f, func(n ast.Node, facts []Fact) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "probe" || len(call.Args) != 1 {
+			return
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok {
+			return
+		}
+		label, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			t.Fatalf("bad probe label %s: %v", lit.Value, err)
+		}
+		got[label] = append([]Fact(nil), facts...)
+	})
+	return got
+}
+
+func TestNilGuarded(t *testing.T) {
+	facts := collectProbeFacts(t)
+	cases := []struct {
+		label string
+		want  bool
+	}{
+		{"top", false},
+		{"pos", true},       // inside `if h != nil`
+		{"pos-else", false}, // the else branch sees h == nil
+		{"neg-then", false}, // inside `if h == nil`
+		{"after-return", true},
+		{"and", true}, // `h != nil && ok` conjunct
+		{"or", false}, // `h == nil || ok` establishes nothing
+	}
+	for _, c := range cases {
+		fs, ok := facts[c.label]
+		if !ok {
+			t.Fatalf("probe %q not visited", c.label)
+		}
+		if got := NilGuarded(fs, "h"); got != c.want {
+			t.Errorf("NilGuarded at %q = %v, want %v (facts: %d)", c.label, got, c.want, len(fs))
+		}
+	}
+	// The closure is created after the terminating `if h == nil { return }`
+	// and inherits that fact.
+	if fs, ok := facts["closure"]; !ok {
+		t.Fatal("closure probe not visited")
+	} else if !NilGuarded(fs, "h") {
+		t.Error("closure did not inherit the creation-site nil guard")
+	}
+}
+
+func TestFactIdentNames(t *testing.T) {
+	facts := collectProbeFacts(t)
+	names := FactIdentNames(facts["and"])
+	for _, want := range []string{"h", "ok"} {
+		if !names[want] {
+			t.Errorf("FactIdentNames at \"and\" missing %q (got %v)", want, names)
+		}
+	}
+	if names["probe"] {
+		t.Error("FactIdentNames leaked the call identifier")
+	}
+}

@@ -1,0 +1,79 @@
+// Package hooklint enforces the PR 1 audit-seam convention: every call
+// through a nil-able hook interface (AuditSink, AuditHook) must be
+// dominated by a nil check on the receiver, so that running without
+// auditing costs a single predictable branch and never panics.
+package hooklint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"powercontainers/internal/analysis"
+)
+
+// hookInterfaceNames are the named interface types that constitute the
+// nil-checked hook seams.
+var hookInterfaceNames = map[string]bool{
+	"AuditSink": true,
+	"AuditHook": true,
+}
+
+// scopeExcludedLast exempts the audit package itself: it is the home of
+// the hook implementations, where collectors fan out over auditors that
+// are non-nil by construction.
+var scopeExcludedLast = []string{"audit"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hooklint",
+	Doc: "flags calls through AuditSink/AuditHook hook interfaces that are not " +
+		"guarded by a `hook != nil` check on the receiver",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathMatch(pass.Pkg.Path(), nil, scopeExcludedLast) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		analysis.WalkWithFacts(file, func(n ast.Node, facts []analysis.Fact) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			recvType := pass.TypesInfo.TypeOf(sel.X)
+			name, isHook := hookInterface(recvType)
+			if !isHook {
+				return
+			}
+			recv := types.ExprString(sel.X)
+			if !analysis.NilGuarded(facts, recv) {
+				pass.Reportf(call.Pos(), "call to %s.%s through hook interface %s without a dominating `%s != nil` check (audit seams are nil-checked by convention)", recv, sel.Sel.Name, name, recv)
+			}
+		})
+	}
+	return nil
+}
+
+// hookInterface reports whether t is (a pointer to) a named interface
+// type whose name marks it as a hook seam.
+func hookInterface(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if _, isIface := n.Underlying().(*types.Interface); !isIface {
+		return "", false
+	}
+	name := n.Obj().Name()
+	return name, hookInterfaceNames[name]
+}

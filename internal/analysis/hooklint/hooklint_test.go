@@ -1,0 +1,16 @@
+package hooklint_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/hooklint"
+)
+
+func TestHooklint(t *testing.T) {
+	analysistest.Run(t, hooklint.Analyzer, "server")
+}
+
+func TestHooklintAuditPackageExempt(t *testing.T) {
+	analysistest.Run(t, hooklint.Analyzer, "audit")
+}

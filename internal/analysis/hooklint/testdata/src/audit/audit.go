@@ -1,0 +1,17 @@
+// Package audit mirrors the real audit package, which hooklint exempts:
+// it is the home of the hook implementations, where collectors fan out
+// over auditors that are non-nil by construction.
+package audit
+
+// AuditSink is the hook seam interface.
+type AuditSink interface {
+	Event(kind string)
+}
+
+// Collector fans out to a sink it constructed itself.
+type Collector struct {
+	Sink AuditSink
+}
+
+// Emit is unguarded, but the package is out of hooklint's scope.
+func (c *Collector) Emit() { c.Sink.Event("emit") }

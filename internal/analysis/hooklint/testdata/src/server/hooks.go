@@ -1,0 +1,61 @@
+// Package server is a hooklint fixture exercising the audit-seam
+// convention on a locally declared hook interface.
+package server
+
+// AuditSink is the hook seam; hooklint keys on the interface name.
+type AuditSink interface {
+	Event(kind string)
+}
+
+// Ledger carries an optional audit hook, nil when auditing is off.
+type Ledger struct {
+	Audit AuditSink
+}
+
+// Unguarded calls the hook without any nil check.
+func (l *Ledger) Unguarded() {
+	l.Audit.Event("unguarded") // want `call to l\.Audit\.Event through hook interface AuditSink`
+}
+
+// Guarded uses the canonical seam shape.
+func (l *Ledger) Guarded() {
+	if l.Audit != nil {
+		l.Audit.Event("guarded")
+	}
+}
+
+// EarlyReturn guards with a negated check that exits the function.
+func (l *Ledger) EarlyReturn() {
+	if l.Audit == nil {
+		return
+	}
+	l.Audit.Event("early-return")
+}
+
+// AndChain guards inside a short-circuit conjunction.
+func (l *Ledger) AndChain(ok bool) {
+	if l.Audit != nil && ok {
+		l.Audit.Event("and-chain")
+	}
+}
+
+// WrongBranch calls the hook inside the nil branch: the check exists but
+// does not establish non-nilness, so the call must still be flagged.
+func (l *Ledger) WrongBranch() {
+	if l.Audit == nil {
+		l.Audit.Event("wrong-branch") // want `without a dominating`
+	}
+}
+
+// Closure inherits the guard established at its creation site.
+func (l *Ledger) Closure() func() {
+	if l.Audit == nil {
+		return func() {}
+	}
+	return func() { l.Audit.Event("closure") }
+}
+
+// Suppressed vouches for a receiver that is non-nil by construction.
+func (l *Ledger) Suppressed() {
+	l.Audit.Event("suppressed") //pclint:allow hooklint fixture receiver is assigned in the constructor and never nil
+}

@@ -1,0 +1,55 @@
+// Package maporder flags direct `for ... range` over maps in the packages
+// whose results feed rendering, export, or aggregation, where Go's
+// randomized map iteration order would leak into experiment output.
+// PR 2 had to hand-fix exactly this in fig6 and cluster3; the analyzer
+// makes the rule mechanical. Iterate experiments.SortedKeys(m) (or a
+// local collect-and-sort) instead, or annotate //pclint:allow maporder
+// when order provably cannot reach any rendering.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"powercontainers/internal/analysis"
+)
+
+var (
+	scopeExact = []string{"powercontainers"}
+	scopeLast  = []string{"experiments", "export", "stats", "trace"}
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags raw map iteration in rendering/export/aggregation packages; " +
+		"iterate sorted keys instead (experiments.SortedKeys)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatch(pass.Pkg.Path(), scopeExact, scopeLast) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			// Test assertions may range maps freely; order-dependent
+			// output is what the renderers themselves must avoid.
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				pass.Reportf(rs.Pos(), "iteration over map %s has nondeterministic order; range over sorted keys (experiments.SortedKeys) or annotate //pclint:allow maporder <reason>", types.ExprString(rs.X))
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "experiments")
+}
+
+func TestMaporderOutOfScope(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "other")
+}

@@ -1,0 +1,42 @@
+// Package experiments is a maporder fixture named after the real
+// experiment harness so it lands in the analyzer's scope.
+package experiments
+
+import "sort"
+
+// Render leaks map iteration order straight into its output.
+func Render(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map m has nondeterministic order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// RenderSorted collects keys under an annotated loop and iterates them
+// sorted — the sanctioned shape (the real helper is
+// experiments.SortedKeys).
+func RenderSorted(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	//pclint:allow maporder key collection is sorted before any use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// Nested flags the inner map range but not the outer slice range.
+func Nested(ms []map[string]int) int {
+	n := 0
+	for _, m := range ms {
+		for range m { // want `iteration over map m has nondeterministic order`
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,12 @@
+// Package other is outside every maporder scope; raw map iteration is
+// fine here.
+package other
+
+// Sum may range the map directly.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

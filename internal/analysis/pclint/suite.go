@@ -1,0 +1,22 @@
+// Package pclint assembles the repo's analyzer suite. cmd/pclint and the
+// analysistest harness both consume it, so the set of analyzer names that
+// //pclint:allow directives may reference is defined in exactly one place.
+package pclint
+
+import (
+	"powercontainers/internal/analysis"
+	"powercontainers/internal/analysis/detlint"
+	"powercontainers/internal/analysis/floatsafe"
+	"powercontainers/internal/analysis/hooklint"
+	"powercontainers/internal/analysis/maporder"
+)
+
+// Suite returns the full pclint analyzer suite in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detlint.Analyzer,
+		maporder.Analyzer,
+		hooklint.Analyzer,
+		floatsafe.Analyzer,
+	}
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment. The full syntax is
+//
+//	//pclint:allow <analyzer> <reason...>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above. The analyzer name must be one of the suite's
+// analyzers and the reason must be non-empty; a malformed directive
+// suppresses nothing and is itself reported as a "pclint" diagnostic.
+// The reason runs to the end of the line or to an embedded "//".
+const DirectivePrefix = "//pclint:allow"
+
+// A Directive is one parsed //pclint:allow comment.
+type Directive struct {
+	Pos      token.Pos
+	File     string
+	Line     int
+	Analyzer string
+	Reason   string
+	// Malformed describes why the directive is invalid ("" if valid).
+	Malformed string
+}
+
+// Directives extracts every //pclint:allow comment from the files.
+// known reports whether an analyzer name belongs to the suite.
+func Directives(fset *token.FileSet, files []*ast.File, known func(string) bool) []Directive {
+	var out []Directive
+	for _, file := range files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, DirectivePrefix) {
+					continue
+				}
+				rest := c.Text[len(DirectivePrefix):]
+				// Tolerate a trailing comment on the directive line.
+				if i := strings.Index(rest, "//"); i >= 0 {
+					rest = rest[:i]
+				}
+				posn := fset.Position(c.Pos())
+				d := Directive{Pos: c.Pos(), File: posn.Filename, Line: posn.Line}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					d.Malformed = "missing analyzer name and reason"
+				case !known(fields[0]):
+					d.Analyzer = fields[0]
+					d.Malformed = fmt.Sprintf("unknown analyzer %q", fields[0])
+				case len(fields) == 1:
+					d.Analyzer = fields[0]
+					d.Malformed = fmt.Sprintf("missing reason (want %s %s <reason>)", DirectivePrefix, fields[0])
+				default:
+					d.Analyzer = fields[0]
+					d.Reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Filter applies the suppression directives found in files to diags: a
+// diagnostic is dropped when a well-formed directive for its analyzer sits
+// on the same line or the line immediately above. Each malformed directive
+// is reported as an additional "pclint" diagnostic. The result is sorted
+// by position.
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known func(string) bool) []Diagnostic {
+	dirs := Directives(fset, files, known)
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	allowed := make(map[key]bool)
+	var out []Diagnostic
+	for _, d := range dirs {
+		if d.Malformed != "" {
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "pclint",
+				Message:  fmt.Sprintf("malformed %s directive: %s", DirectivePrefix, d.Malformed),
+			})
+			continue
+		}
+		// The directive covers its own line (trailing comment) and the
+		// line below (own-line comment above the offending statement).
+		allowed[key{d.File, d.Line, d.Analyzer}] = true
+		allowed[key{d.File, d.Line + 1, d.Analyzer}] = true
+	}
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		if allowed[key{posn.Filename, posn.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// KnownSet adapts a suite of analyzers to the `known` predicate used by
+// Directives and Filter.
+func KnownSet(suite []*Analyzer) func(string) bool {
+	names := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		names[a.Name] = true
+	}
+	return func(name string) bool { return names[name] }
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+//pclint:allow detlint reason one
+var a = 1
+
+var b = 2 //pclint:allow maporder trailing reason // extra comment
+
+//pclint:allow unknownzzz some reason
+var c = 3
+
+//pclint:allow detlint
+var d = 4
+
+//pclint:allow
+var e = 5
+`
+
+func parseSuppressSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func knownForTest(name string) bool { return name == "detlint" || name == "maporder" }
+
+func TestDirectivesParsing(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	dirs := Directives(fset, []*ast.File{f}, knownForTest)
+	want := []Directive{
+		{Line: 3, Analyzer: "detlint", Reason: "reason one"},
+		{Line: 6, Analyzer: "maporder", Reason: "trailing reason"},
+		{Line: 8, Analyzer: "unknownzzz", Malformed: `unknown analyzer "unknownzzz"`},
+		{Line: 11, Analyzer: "detlint", Malformed: "missing reason (want //pclint:allow detlint <reason>)"},
+		{Line: 14, Malformed: "missing analyzer name and reason"},
+	}
+	if len(dirs) != len(want) {
+		t.Fatalf("got %d directives, want %d: %+v", len(dirs), len(want), dirs)
+	}
+	for i, w := range want {
+		g := dirs[i]
+		if g.Line != w.Line || g.Analyzer != w.Analyzer || g.Reason != w.Reason || g.Malformed != w.Malformed {
+			t.Errorf("directive %d = {line %d %q reason %q malformed %q}, want {line %d %q reason %q malformed %q}",
+				i, g.Line, g.Analyzer, g.Reason, g.Malformed, w.Line, w.Analyzer, w.Reason, w.Malformed)
+		}
+	}
+}
+
+// posAt returns a position on the given 1-based line of the fixture file.
+func posAt(t *testing.T, fset *token.FileSet, f *ast.File, line int) token.Pos {
+	t.Helper()
+	return fset.File(f.Pos()).LineStart(line)
+}
+
+func TestFilterSuppression(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	diags := []Diagnostic{
+		// Covered by the own-line directive on line 3.
+		{Pos: posAt(t, fset, f, 4), Analyzer: "detlint", Message: "suppressed below directive"},
+		// Covered by the trailing directive on the same line.
+		{Pos: posAt(t, fset, f, 6), Analyzer: "maporder", Message: "suppressed same line"},
+		// Same line as a maporder directive, but a different analyzer.
+		{Pos: posAt(t, fset, f, 6), Analyzer: "detlint", Message: "kept: wrong analyzer"},
+		// Below a malformed (unknown-analyzer) directive: not suppressed.
+		{Pos: posAt(t, fset, f, 9), Analyzer: "detlint", Message: "kept: malformed directive"},
+	}
+	out := Filter(fset, []*ast.File{f}, diags, knownForTest)
+
+	var kept, malformed []string
+	for _, d := range out {
+		if d.Analyzer == "pclint" {
+			malformed = append(malformed, d.Message)
+			continue
+		}
+		kept = append(kept, d.Message)
+	}
+	wantKept := []string{"kept: wrong analyzer", "kept: malformed directive"}
+	if len(kept) != len(wantKept) {
+		t.Fatalf("kept %v, want %v", kept, wantKept)
+	}
+	for i := range wantKept {
+		if kept[i] != wantKept[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, kept[i], wantKept[i])
+		}
+	}
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 3: %v", len(malformed), malformed)
+	}
+	for _, m := range malformed {
+		if !strings.HasPrefix(m, "malformed //pclint:allow directive: ") {
+			t.Errorf("malformed diagnostic %q lacks the standard prefix", m)
+		}
+	}
+}

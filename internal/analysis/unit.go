@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+)
+
+// UnitConfig mirrors the JSON compilation-unit description that `go vet
+// -vettool=...` hands to the tool (the unitchecker protocol). Only the
+// fields pclint consumes are declared.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ModulePath                string
+	ImportMap                 map[string]string // import path → canonical package path
+	PackageFile               map[string]string // canonical package path → export data file
+	VetxOnly                  bool              // analyze only for facts (pclint has none)
+	VetxOutput                string            // fact file the build system expects us to write
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes the single compilation unit described by the JSON
+// config file, printing diagnostics to stderr. It returns the process
+// exit code: 0 clean, 1 diagnostics or analysis errors.
+//
+// pclint exports no facts, so dependency units (VetxOnly) and packages
+// outside the module under analysis are dismissed with an empty fact file.
+func RunUnit(configFile string, suite []*Analyzer) int {
+	cfg, err := readUnitConfig(configFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	// Always satisfy the build system's fact-file expectation first.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || !inModule(cfg) {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0 // the compiler will report it
+			}
+			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, compilerName(cfg), func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	tc := &types.Config{
+		Importer: importerFunc(func(importPath string) (*types.Package, error) {
+			path, ok := cfg.ImportMap[importPath]
+			if !ok {
+				return nil, fmt.Errorf("can't resolve import %q", importPath)
+			}
+			return compilerImporter.Import(path)
+		}),
+		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "pclint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(fset, files, pkg, info, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+		return 1
+	}
+	diags = Filter(fset, files, diags, KnownSet(suite))
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+func readUnitConfig(filename string) (*UnitConfig, error) {
+	data, err := os.ReadFile(filename)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode JSON config %s: %v", filename, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+	return cfg, nil
+}
+
+// inModule reports whether the unit belongs to the module being vetted
+// (as opposed to a standard-library or external dependency).
+func inModule(cfg *UnitConfig) bool {
+	if cfg.ModulePath == "" {
+		return true // be permissive when the build system omits it
+	}
+	return cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")
+}
+
+func compilerName(cfg *UnitConfig) string {
+	if cfg.Compiler != "" {
+		return cfg.Compiler
+	}
+	return "gc"
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

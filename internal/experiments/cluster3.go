@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 
 	"powercontainers/internal/cluster"
 	"powercontainers/internal/core"
@@ -194,12 +193,7 @@ func (r *Cluster3Result) Render() string {
 		Title:  "profiled per-request energy (J)",
 		Header: []string{"app", specs[0].Name, specs[1].Name, specs[2].Name},
 	}
-	apps := make([]string, 0, len(r.Energy))
-	for app := range r.Energy {
-		apps = append(apps, app)
-	}
-	sort.Strings(apps)
-	for _, app := range apps {
+	for _, app := range SortedKeys(r.Energy) {
 		e := r.Energy[app]
 		t2.AddRow(app, j2(e[0]), j2(e[1]), j2(e[2]))
 	}

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"powercontainers/internal/core"
@@ -87,12 +86,7 @@ func (r *Fig6Result) Render() string {
 		fmt.Fprintf(&b, "mean request power distribution (W):\n%s", asciiHist(w.PowerHist, 40))
 		fmt.Fprintf(&b, "request energy distribution (J):\n%s", asciiHist(w.EnergyHist, 40))
 		fmt.Fprintf(&b, "power modes: %v\n", fmtFloats(w.PowerModes))
-		types := make([]string, 0, len(w.ByType))
-		for name := range w.ByType {
-			types = append(types, name)
-		}
-		sort.Strings(types)
-		for _, name := range types {
+		for _, name := range SortedKeys(w.ByType) {
 			ts := w.ByType[name]
 			fmt.Fprintf(&b, "  %-14s n=%4d  mean power %5.1f W  mean energy %5.2f J\n",
 				name, ts.Count, ts.MeanPowerW.Mean(), ts.MeanEnergyJ.Mean())

@@ -185,8 +185,8 @@ func fig10App(as Assembly, app Fig10App, seed uint64) ([]Fig10Point, error) {
 		tp.totEnergy /= n
 	}
 	norm(&overall)
-	for _, tp := range profiles {
-		norm(tp)
+	for _, lbl := range SortedKeys(profiles) {
+		norm(profiles[lbl])
 	}
 
 	// Expected per-request profile under the new composition, weighting

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. It is the shared
+// sorted-iteration helper the maporder analyzer points renderers and
+// aggregators at: `for _, k := range SortedKeys(m)` replaces a raw
+// `for k := range m`, whose nondeterministic order would leak into
+// rendered experiment output and break byte-identical replay.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	//pclint:allow maporder key collection is sorted before it is returned
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

@@ -141,6 +141,7 @@ func AggregateByClient(records []RequestRecord) []ClientUsage {
 		u.CPUTimeMs += r.CPUTimeMs
 	}
 	out := make([]ClientUsage, 0, len(byClient))
+	//pclint:allow maporder collected rows are fully ordered by sortClients below
 	for _, u := range byClient {
 		out = append(out, *u)
 	}

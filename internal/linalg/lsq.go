@@ -47,9 +47,11 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		a[col], a[pivot] = a[pivot], a[col]
 		b[col], b[pivot] = b[pivot], b[col]
 
+		//pclint:allow floatsafe pivot magnitude is checked >= 1e-12 above before the swap
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
+			//pclint:allow floatsafe exact-zero fast path skipping a no-op row update
 			if f == 0 {
 				continue
 			}
@@ -67,6 +69,7 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 		for c := i + 1; c < n; c++ {
 			sum -= a[i][c] * x[c]
 		}
+		//pclint:allow floatsafe pivots are >= 1e-12 and non-finite solutions are rejected below
 		x[i] = sum / a[i][i]
 	}
 	// Finite pivots do not guarantee a finite solution: intermediate
@@ -81,6 +84,8 @@ func Solve(a [][]float64, b []float64) ([]float64, error) {
 }
 
 // isFinite reports whether v is neither NaN nor ±Inf.
+//
+//pclint:allow floatsafe v-v == 0 is the canonical finiteness test (NaN and Inf fail it)
 func isFinite(v float64) bool { return v-v == 0 }
 
 func abs(x float64) float64 {

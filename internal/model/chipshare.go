@@ -44,6 +44,7 @@ func ChipShare(spec cpu.MachineSpec, cores []*cpu.Core, self int, myUtil float64
 		}
 		siblings += u
 	}
+	//pclint:allow floatsafe siblings sums utilizations clamped to [0,1], so the denominator is >= 1
 	return myUtil / (1 + siblings)
 }
 
@@ -64,5 +65,6 @@ func OracleChipShare(spec cpu.MachineSpec, self int, myUtil float64, idle IdleCh
 			busy++
 		}
 	}
+	//pclint:allow floatsafe busy is a non-negative count, so the denominator is >= 1
 	return myUtil / float64(1+busy)
 }

@@ -81,6 +81,7 @@ func Fit(samples []CalSample, opts FitOptions) (Coefficients, error) {
 			return Coefficients{}, fmt.Errorf("model: unknown fit scope %d", opts.Scope)
 		}
 		weight := s.Weight
+		//pclint:allow floatsafe exact zero is the documented unset sentinel of CalSample.Weight
 		if weight == 0 {
 			weight = 1
 		}

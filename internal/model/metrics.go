@@ -177,9 +177,11 @@ func (ms *MetricSeries) AddSpread(t0, t1 sim.Time, m Metrics) {
 	if t1 <= t0 {
 		return
 	}
+	//pclint:allow floatsafe series are constructed with a positive bucket interval
 	scale := float64(t1-t0) / float64(ms.interval)
 	v := m.Vector()
 	for i, s := range ms.series {
+		//pclint:allow floatsafe exact-zero fast path skipping metrics that were never observed
 		if v[i] == 0 {
 			continue
 		}

@@ -20,6 +20,7 @@ const (
 // driftFactor returns the multiplicative drift at time t.
 func driftFactor(seed uint64, amp float64, period, t sim.Time) float64 {
 	phase := 2 * math.Pi * float64(seed%997) / 997
+	//pclint:allow floatsafe callers pass the positive drift-period constants above
 	return 1 + amp*math.Sin(2*math.Pi*float64(t)/float64(period)+phase)
 }
 

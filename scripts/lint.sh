@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build the pclint multichecker and run the full analyzer suite (detlint,
+# maporder, hooklint, floatsafe) over the whole module through the
+# `go vet -vettool` protocol. Exits nonzero on any diagnostic. This is the
+# same invocation the CI lint job runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p bin
+go build -o bin/pclint ./cmd/pclint
+exec go vet -vettool="$(pwd)/bin/pclint" ./...

@@ -237,7 +237,8 @@ func (r *Run) SetRequestPowerTarget(typePrefix string, watts float64) {
 // targetFor resolves the longest matching prefix target.
 func (r *Run) targetFor(reqType string) float64 {
 	best, bestLen := 0.0, -1
-	for prefix, w := range r.targets {
+	for _, prefix := range experiments.SortedKeys(r.targets) {
+		w := r.targets[prefix]
 		if len(prefix) <= len(reqType) && reqType[:len(prefix)] == prefix && len(prefix) > bestLen {
 			best, bestLen = w, len(prefix)
 		}
