@@ -329,10 +329,17 @@ func BenchmarkRegistryParallel(b *testing.B) {
 	b.Run("parallel", func(b *testing.B) { parallelSec = run(b, jobs) })
 
 	if out := os.Getenv("BENCH_RUNNER_OUT"); out != "" && serialSec > 0 && parallelSec > 0 {
+		// On a single-core host the parallel leg cannot beat the serial
+		// one — the "speedup" is pure scheduling noise. Record the host
+		// shape and flag the measurement so readers (and CI) don't
+		// mistake a degenerate run for a regression.
+		cores := runtime.NumCPU()
 		buf, err := json.MarshalIndent(map[string]any{
 			"experiments":  len(ids),
-			"cores":        runtime.NumCPU(),
+			"cores":        cores,
+			"gomaxprocs":   runtime.GOMAXPROCS(0),
 			"jobs":         jobs,
+			"degenerate":   cores < 2,
 			"serial_sec":   serialSec,
 			"parallel_sec": parallelSec,
 			"speedup":      serialSec / parallelSec,

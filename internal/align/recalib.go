@@ -3,16 +3,31 @@ package align
 import (
 	"fmt"
 
+	"powercontainers/internal/linalg"
 	"powercontainers/internal/model"
 	"powercontainers/internal/power"
 	"powercontainers/internal/sim"
 )
+
+// defaultRebuildEvery bounds how many FIFO evictions may pass through the
+// incremental Gram downdate before an exact rebuild. Each Remove leaves
+// rounding-level residue in the accumulators (float addition does not
+// associate); a periodic rebuild from the pristine offline block plus the
+// live online window resets that residue to zero.
+const defaultRebuildEvery = 256
 
 // Recalibrator performs the paper's measurement-aligned online model
 // recalibration: it ingests newly delivered meter readings, aligns them
 // with the facility's system metric series using the estimated delay, and
 // refits the model over the union of offline calibration samples and online
 // samples, weighed equally (§3.2).
+//
+// The refit path is incremental: the offline block's normal equations are
+// accumulated once, online pairs fold in at Ingest and fold out on
+// MaxOnline eviction, so Refit pays only the O(k³) solve instead of
+// re-accumulating O(offline+online) samples. refitReference retains the
+// original batch path; the incremental path falls back to it whenever the
+// fit plan changes under it or an accumulator operation fails.
 type Recalibrator struct {
 	// Meter supplies online measurements.
 	Meter power.Meter
@@ -31,15 +46,38 @@ type Recalibrator struct {
 	AutoAlignAfter int
 	// MaxDelay bounds the delay search.
 	MaxDelay sim.Time
+	// RebuildEvery is how many evicted samples the incremental Gram may
+	// absorb via downdates before an exact rebuild (0 selects the
+	// default). Lower values cost more rebuild work; higher values let
+	// rounding residue ride longer between resets.
+	RebuildEvery int
 
-	delay       sim.Time
-	delayKnown  bool
-	online      []model.CalSample
-	seen        int
-	buffered    []power.Sample
-	refits      int
-	lastFitErr  error
-	alignedOnce bool
+	delay      sim.Time
+	delayKnown bool
+	online     []model.CalSample
+	seen       int
+	buffered   []power.Sample
+	refits     int
+	lastFitErr error
+
+	// Incremental normal-equation state. plan is the layout the grams were
+	// accumulated under; gramOff latches the batch fallback after any
+	// accumulator failure (a sample the plan rejects, an underflowing
+	// Remove) so a half-updated Gram is never solved.
+	plan      model.FitPlan
+	planKnown bool
+	offGram   *linalg.Gram
+	gram      *linalg.Gram
+	evictions int
+	gramOff   bool
+
+	// Incremental modeled-power cache for the delay search: mp mirrors
+	// ms.ModeledPower(mpCoeff, len(mp)) and is extended/patched from the
+	// metric series' dirty low-water mark instead of being rebuilt on
+	// every delay-unknown Ingest.
+	mp      []float64
+	mpCoeff model.Coefficients
+	mpValid bool
 }
 
 // NewRecalibrator returns a recalibrator with sensible defaults for the
@@ -53,6 +91,7 @@ func NewRecalibrator(meter power.Meter, scope model.FitScope, offline []model.Ca
 		MinOnline:      8,
 		AutoAlignAfter: 10,
 		MaxDelay:       2*sim.Second + 2*meter.Interval(),
+		RebuildEvery:   defaultRebuildEvery,
 	}
 }
 
@@ -73,23 +112,71 @@ func (r *Recalibrator) OnlineCount() int { return len(r.online) }
 // Refits returns how many successful refits have been performed.
 func (r *Recalibrator) Refits() int { return r.refits }
 
+// readFresh pulls meter samples not seen by a previous Ingest. Meters that
+// implement power.SinceReader skip rematerializing the already-consumed
+// prefix — without it, every Ingest re-derives all samples since time zero.
+func (r *Recalibrator) readFresh(now sim.Time) []power.Sample {
+	if sr, ok := r.Meter.(power.SinceReader); ok {
+		fresh := sr.ReadSince(now, r.seen)
+		r.seen += len(fresh)
+		return fresh
+	}
+	all := r.Meter.Read(now)
+	if len(all) <= r.seen {
+		return nil
+	}
+	fresh := all[r.seen:]
+	r.seen = len(all)
+	return fresh
+}
+
+// modeledPower returns the modeled active power series under current,
+// recomputing only buckets at or above the metric series' dirty low-water
+// mark since the previous call (late writes reach back: device I/O spreads
+// energy over past buckets, and per-core periods close at different times).
+// A coefficient change invalidates the whole cache. Recomputed buckets get
+// the identical c.Estimate(ms.At(b)) evaluation the batch path performs, so
+// the cached series is bit-identical to ms.ModeledPower(current, ms.Len()).
+func (r *Recalibrator) modeledPower(ms *model.MetricSeries, current model.Coefficients) []float64 {
+	n := ms.Len()
+	from := 0
+	if r.mpValid && current == r.mpCoeff {
+		from = len(r.mp)
+		if d := ms.DirtyLow(); d < from {
+			from = d
+		}
+	}
+	if cap(r.mp) < n {
+		grown := make([]float64, n)
+		copy(grown, r.mp[:from])
+		r.mp = grown
+	} else {
+		r.mp = r.mp[:n]
+	}
+	for b := from; b < n; b++ {
+		r.mp[b] = current.Estimate(ms.At(b))
+	}
+	ms.ClearDirty()
+	r.mpCoeff = current
+	r.mpValid = true
+	return r.mp
+}
+
 // Ingest pulls newly delivered meter samples at time now, aligns them
 // against the metric series, and appends online calibration samples.
 // It returns the number of new online samples.
 func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current model.Coefficients) int {
-	all := r.Meter.Read(now)
-	if len(all) <= r.seen {
+	fresh := r.readFresh(now)
+	if len(fresh) == 0 {
 		return 0
 	}
-	fresh := all[r.seen:]
-	r.seen = len(all)
 	r.buffered = append(r.buffered, fresh...)
 
 	if !r.delayKnown {
 		if len(r.buffered) < r.AutoAlignAfter {
 			return 0
 		}
-		modelPower := ms.ModeledPower(current, ms.Len())
+		modelPower := r.modeledPower(ms, current)
 		curve := CorrelationCurve(r.buffered, r.Meter.IdleW(), r.Meter.Interval(),
 			modelPower, ms.Interval(), ms.Interval(), 0, r.MaxDelay)
 		d, err := EstimateDelay(curve)
@@ -103,6 +190,7 @@ func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current mode
 
 	pairs := AlignSamples(r.buffered, r.Meter.IdleW(), r.Meter.Interval(), ms, r.delay)
 	r.buffered = r.buffered[:0]
+	r.syncPlan(current)
 	added := 0
 	for _, p := range pairs {
 		s := model.CalSample{M: p.M, Weight: 1}
@@ -113,20 +201,141 @@ func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current mode
 			s.MachineActiveW = p.ActiveW
 		}
 		r.online = append(r.online, s)
+		r.gramAdd(s)
 		added++
 	}
 	if over := len(r.online) - r.MaxOnline; over > 0 {
+		for _, s := range r.online[:over] {
+			r.gramRemove(s)
+		}
 		r.online = append(r.online[:0], r.online[over:]...)
+		r.evictions += over
+		r.maybeRebuild()
 	}
 	return added
 }
 
+// syncPlan keeps the incremental grams in step with the fit plan derived
+// from the coefficients Ingest observes. core.RecalibrateNow passes the
+// same coefficients to Ingest and the following Refit, so the plan derived
+// here is the one Refit will want; if a caller refits under a different
+// plan anyway, Refit detects the mismatch and takes the batch path.
+func (r *Recalibrator) syncPlan(current model.Coefficients) {
+	if r.gramOff {
+		return
+	}
+	plan := model.FitPlan{Scope: r.Scope, IncludeChipShare: current.IncludesChipShare}
+	if r.planKnown && plan == r.plan && r.gram != nil {
+		return
+	}
+	r.plan = plan
+	r.planKnown = true
+	r.rebuildGrams()
+}
+
+// rebuildGrams reaccumulates the offline block and the live online window
+// from scratch under the current plan — the exact accumulation a batch
+// model.Fit over offline+online would perform, and therefore bit-identical
+// to it.
+func (r *Recalibrator) rebuildGrams() {
+	off, err := model.FitGram(r.Offline, r.plan)
+	if err != nil {
+		r.disableGram(err)
+		return
+	}
+	r.offGram = off
+	g := off.Clone()
+	for _, s := range r.online {
+		if err := r.plan.Fold(g, s); err != nil {
+			r.disableGram(err)
+			return
+		}
+	}
+	r.gram = g
+	r.evictions = 0
+}
+
+// maybeRebuild resets downdate rounding residue after enough evictions.
+func (r *Recalibrator) maybeRebuild() {
+	if r.gram == nil || r.gramOff {
+		return
+	}
+	every := r.RebuildEvery
+	if every <= 0 {
+		every = defaultRebuildEvery
+	}
+	if r.evictions < every {
+		return
+	}
+	g := r.offGram.Clone()
+	for _, s := range r.online {
+		if err := r.plan.Fold(g, s); err != nil {
+			r.disableGram(err)
+			return
+		}
+	}
+	r.gram = g
+	r.evictions = 0
+}
+
+func (r *Recalibrator) gramAdd(s model.CalSample) {
+	if r.gram == nil || r.gramOff {
+		return
+	}
+	if err := r.plan.Fold(r.gram, s); err != nil {
+		r.disableGram(err)
+	}
+}
+
+func (r *Recalibrator) gramRemove(s model.CalSample) {
+	if r.gram == nil || r.gramOff {
+		return
+	}
+	if err := r.plan.Unfold(r.gram, s); err != nil {
+		r.disableGram(err)
+	}
+}
+
+// disableGram latches the batch-refit fallback: a failed accumulator
+// operation leaves the Gram half-updated, so it must never be solved.
+func (r *Recalibrator) disableGram(err error) {
+	r.gram = nil
+	r.offGram = nil
+	r.gramOff = true
+	r.planKnown = false
+	r.lastFitErr = err
+}
+
 // Refit fits the model over offline+online samples, equally weighted. The
-// base coefficients supply any terms outside the fitted scope.
+// base coefficients supply any terms outside the fitted scope. When the
+// incremental Gram matches the requested plan it is solved directly
+// (O(k³)); otherwise the batch reference path runs.
 func (r *Recalibrator) Refit(base model.Coefficients) (model.Coefficients, error) {
 	if len(r.online) < r.MinOnline {
 		return base, fmt.Errorf("align: only %d online samples (need %d)", len(r.online), r.MinOnline)
 	}
+	plan := model.FitPlan{Scope: r.Scope, IncludeChipShare: base.IncludesChipShare}
+	if r.gram == nil || !r.planKnown || plan != r.plan {
+		return r.refitReference(base)
+	}
+	c, err := model.FitFromGram(r.gram, model.FitOptions{
+		Scope:            r.Scope,
+		IncludeChipShare: base.IncludesChipShare,
+		IdleW:            base.IdleW,
+		Base:             base,
+	})
+	if err != nil {
+		r.lastFitErr = err
+		return base, err
+	}
+	r.refits++
+	return c, nil
+}
+
+// refitReference is the original batch refit, retained both as the fallback
+// for plan changes mid-stream and as the reference implementation the
+// incremental path is property-tested against.
+func (r *Recalibrator) refitReference(base model.Coefficients) (model.Coefficients, error) {
 	combined := make([]model.CalSample, 0, len(r.Offline)+len(r.online))
 	combined = append(combined, r.Offline...)
 	combined = append(combined, r.online...)

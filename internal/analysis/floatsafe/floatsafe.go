@@ -21,13 +21,13 @@ import (
 
 var (
 	scopeExact []string
-	scopeLast  = []string{"model", "align", "linalg", "power"}
+	scopeLast  = []string{"model", "align", "linalg", "power", "stats"}
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "floatsafe",
 	Doc: "flags exact float ==/!= comparisons and unguarded float divisions in " +
-		"the numeric packages (model, align, linalg, power)",
+		"the numeric packages (model, align, linalg, power, stats)",
 	Run: run,
 }
 

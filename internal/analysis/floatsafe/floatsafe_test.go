@@ -11,6 +11,10 @@ func TestFloatsafe(t *testing.T) {
 	analysistest.Run(t, floatsafe.Analyzer, "model")
 }
 
+func TestFloatsafeStatsScope(t *testing.T) {
+	analysistest.Run(t, floatsafe.Analyzer, "stats")
+}
+
 func TestFloatsafeOutOfScope(t *testing.T) {
 	analysistest.Run(t, floatsafe.Analyzer, "other")
 }

@@ -1,0 +1,20 @@
+// Package stats is a floatsafe fixture named after the real stats package,
+// pinning that the analyzer's scope covers it.
+package stats
+
+// Rate divides by an unchecked interval, as the real package's rate
+// conversions would without their constructor validation annotations.
+func Rate(v, interval float64) float64 {
+	return v / interval // want `division by interval with no dominating guard`
+}
+
+// ZeroVariance compares a variance bit-for-bit against zero.
+func ZeroVariance(sxx float64) bool {
+	return sxx == 0 // want `exact float comparison sxx == 0`
+}
+
+// SuppressedRate mirrors the real package's annotated conversions.
+func SuppressedRate(v, interval float64) float64 {
+	//pclint:allow floatsafe interval is validated positive at construction
+	return v / interval
+}

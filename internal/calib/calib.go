@@ -81,13 +81,23 @@ func Calibrate(spec cpu.MachineSpec, cfg Config) (*Result, error) {
 		}
 	}
 
-	res.Eq1, err = model.Fit(res.Samples, model.FitOptions{
+	// One pass over the samples serves both fits: Eq. 1's normal equations
+	// are the Eq. 2 Gram with the chip-share column projected out (machine
+	// layout: core, ins, float, cache, mem, chip, disk, net — drop column
+	// 5), bit-identical to a direct Eq. 1 accumulation.
+	eq2Gram, err := model.FitGram(res.Samples, model.FitPlan{
+		Scope: model.ScopeMachine, IncludeChipShare: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calib: Eq2 fit: %w", err)
+	}
+	res.Eq1, err = model.FitFromGram(eq2Gram.Subset([]int{0, 1, 2, 3, 4, 6, 7}), model.FitOptions{
 		Scope: model.ScopeMachine, IncludeChipShare: false, IdleW: profile.MachineIdleW,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("calib: Eq1 fit: %w", err)
 	}
-	res.Eq2, err = model.Fit(res.Samples, model.FitOptions{
+	res.Eq2, err = model.FitFromGram(eq2Gram, model.FitOptions{
 		Scope: model.ScopeMachine, IncludeChipShare: true, IdleW: profile.MachineIdleW,
 	})
 	if err != nil {

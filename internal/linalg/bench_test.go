@@ -1,0 +1,66 @@
+package linalg
+
+import "testing"
+
+// Benchmark shapes match the recalibrator's working set: k=8 features
+// (machine-scope Eq. 2 fit), a 4032-row design (32 offline + MaxOnline=4000
+// online samples).
+const (
+	benchRows = 4032
+	benchK    = 8
+)
+
+func benchDesign(b *testing.B) (rows [][]float64, y, w []float64) {
+	b.Helper()
+	rows, y, w = testRows(42, benchRows, benchK)
+	return rows, y, w
+}
+
+// BenchmarkLeastSquares is the historical batch path: one full O(n·k²)
+// accumulation plus solve per call — what Refit used to pay every period.
+func BenchmarkLeastSquares(b *testing.B) {
+	rows, y, w := benchDesign(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(rows, y, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGramSolve is the incremental path's per-refit cost: the O(k³)
+// solve over already-accumulated sufficient statistics.
+func BenchmarkGramSolve(b *testing.B) {
+	rows, y, w := benchDesign(b)
+	g := NewGram(benchK)
+	for i, row := range rows {
+		g.Add(row, y[i], w[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGramFold is the incremental path's per-sample cost: one Add plus
+// one Remove (a full steady-state eviction cycle).
+func BenchmarkGramFold(b *testing.B) {
+	rows, y, w := benchDesign(b)
+	g := NewGram(benchK)
+	for i, row := range rows {
+		g.Add(row, y[i], w[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % benchRows
+		g.Add(rows[j], y[j], w[j])
+		if err := g.Remove(rows[j], y[j], w[j]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

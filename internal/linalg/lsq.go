@@ -122,50 +122,21 @@ func LeastSquares(rows [][]float64, y []float64, weights []float64) ([]float64, 
 		}
 	}
 
-	// Accumulate the normal equations XᵀWX beta = XᵀWy.
-	xtx := make([][]float64, k)
-	for i := range xtx {
-		xtx[i] = make([]float64, k)
-	}
-	xty := make([]float64, k)
+	// Accumulate the normal equations XᵀWX beta = XᵀWy and solve. Gram's
+	// Add/Solve reproduce the historical in-place accumulation and ridge
+	// fallback bit-for-bit (see the Gram bit-exactness contract).
+	g := NewGram(k)
 	for n, row := range rows {
 		w := 1.0
 		if weights != nil {
 			w = weights[n]
 		}
-		for i := 0; i < k; i++ {
-			wi := w * row[i]
-			xty[i] += wi * y[n]
-			for j := i; j < k; j++ {
-				xtx[i][j] += wi * row[j]
-			}
-		}
+		g.Add(row, y[n], w)
 	}
-	for i := 0; i < k; i++ {
-		for j := 0; j < i; j++ {
-			xtx[i][j] = xtx[j][i]
-		}
-	}
-
-	sol, err := Solve(cloneMatrix(xtx), append([]float64(nil), xty...))
-	if err == nil {
-		return sol, nil
-	}
-	// Ridge fallback: a metric that never varies in the calibration
-	// workloads makes XᵀX singular; shrink its coefficient toward zero
-	// instead of failing the whole calibration.
-	const ridge = 1e-6
-	reg := cloneMatrix(xtx)
-	for i := 0; i < k; i++ {
-		reg[i][i] += ridge * (1 + xtx[i][i])
-	}
-	sol, err = Solve(reg, append([]float64(nil), xty...))
-	if err != nil {
-		return nil, ErrSingular
-	}
-	return sol, nil
+	return g.Solve()
 }
 
+// cloneMatrix deep-copies a row-major matrix.
 func cloneMatrix(m [][]float64) [][]float64 {
 	out := make([][]float64, len(m))
 	for i, row := range m {

@@ -50,50 +50,107 @@ type FitOptions struct {
 	Base Coefficients
 }
 
-// Fit calibrates model coefficients from samples by weighted least squares,
-// the procedure the paper uses both offline (§4.1) and online (§3.2, where
-// offline and online samples are weighed equally).
-func Fit(samples []CalSample, opts FitOptions) (Coefficients, error) {
+// FitPlan is the feature layout of a fit configuration: which regression
+// columns a calibration sample contributes and which measurement it targets.
+// Column layout: core, ins, float, cache, mem, [chip], [disk, net]. Two fits
+// with equal plans accumulate structurally identical normal equations, which
+// is what lets a Recalibrator maintain one Gram across refits.
+type FitPlan struct {
+	Scope            FitScope
+	IncludeChipShare bool
+}
+
+// K returns the number of regression columns under the plan.
+func (p FitPlan) K() int {
+	k := 5
+	if p.IncludeChipShare {
+		k++
+	}
+	if p.Scope == ScopeMachine {
+		k += 2
+	}
+	return k
+}
+
+// rowInto appends the sample's regression row to dst and returns it with the
+// regression target and weight. dst lets callers reuse a stack scratch
+// buffer on the per-sample hot path.
+func (p FitPlan) rowInto(dst []float64, s CalSample) (row []float64, target, weight float64, err error) {
+	row = append(dst, s.M.Core, s.M.Ins, s.M.Float, s.M.Cache, s.M.Mem)
+	if p.IncludeChipShare {
+		row = append(row, s.M.Chip)
+	}
+	switch p.Scope {
+	case ScopeMachine:
+		row = append(row, s.M.Disk, s.M.Net)
+		target = s.MachineActiveW
+	case ScopePackage:
+		target = s.PkgActiveW
+		if math.IsNaN(target) {
+			return nil, 0, 0, fmt.Errorf("model: package-scope fit with sample lacking package measurement")
+		}
+	default:
+		return nil, 0, 0, fmt.Errorf("model: unknown fit scope %d", p.Scope)
+	}
+	weight = s.Weight
+	//pclint:allow floatsafe exact zero is the documented unset sentinel of CalSample.Weight
+	if weight == 0 {
+		weight = 1
+	}
+	return row, target, weight, nil
+}
+
+// Fold accumulates one sample into a Gram built for this plan.
+func (p FitPlan) Fold(g *linalg.Gram, s CalSample) error {
+	var scratch [8]float64
+	row, target, weight, err := p.rowInto(scratch[:0], s)
+	if err != nil {
+		return err
+	}
+	g.Add(row, target, weight)
+	return nil
+}
+
+// Unfold removes one previously folded sample from a Gram (the MaxOnline
+// eviction path of online recalibration).
+func (p FitPlan) Unfold(g *linalg.Gram, s CalSample) error {
+	var scratch [8]float64
+	row, target, weight, err := p.rowInto(scratch[:0], s)
+	if err != nil {
+		return err
+	}
+	return g.Remove(row, target, weight)
+}
+
+// FitGram accumulates the samples' normal equations under the plan without
+// solving. Folding happens in sample order, so the result is bit-identical
+// to the accumulation a direct Fit over the same samples performs.
+func FitGram(samples []CalSample, plan FitPlan) (*linalg.Gram, error) {
 	if len(samples) == 0 {
-		return Coefficients{}, fmt.Errorf("model: no calibration samples")
+		return nil, fmt.Errorf("model: no calibration samples")
 	}
-	// Column layout: core, ins, float, cache, mem, [chip], [disk, net].
-	var rows [][]float64
-	var y []float64
-	var w []float64
+	g := linalg.NewGram(plan.K())
 	for _, s := range samples {
-		v := s.M.Vector()
-		row := v[:5:5]
-		if opts.IncludeChipShare {
-			row = append(row, v[5])
+		if err := plan.Fold(g, s); err != nil {
+			return nil, err
 		}
-		var target float64
-		switch opts.Scope {
-		case ScopeMachine:
-			row = append(row, v[6], v[7])
-			target = s.MachineActiveW
-		case ScopePackage:
-			target = s.PkgActiveW
-			if math.IsNaN(target) {
-				return Coefficients{}, fmt.Errorf("model: package-scope fit with sample lacking package measurement")
-			}
-		default:
-			return Coefficients{}, fmt.Errorf("model: unknown fit scope %d", opts.Scope)
-		}
-		weight := s.Weight
-		//pclint:allow floatsafe exact zero is the documented unset sentinel of CalSample.Weight
-		if weight == 0 {
-			weight = 1
-		}
-		rows = append(rows, row)
-		y = append(y, target)
-		w = append(w, weight)
 	}
-	beta, err := linalg.LeastSquares(rows, y, w)
+	return g, nil
+}
+
+// FitFromGram solves prebuilt normal equations and assembles coefficients
+// exactly as Fit does — the entry point for callers that maintain a Gram
+// incrementally (online recalibration) or share one accumulation across
+// nested feature layouts (offline calibration's Eq. 1/Eq. 2).
+func FitFromGram(g *linalg.Gram, opts FitOptions) (Coefficients, error) {
+	plan := FitPlan{Scope: opts.Scope, IncludeChipShare: opts.IncludeChipShare}
+	if g.K() != plan.K() {
+		return Coefficients{}, fmt.Errorf("model: gram has %d features, plan wants %d", g.K(), plan.K())
+	}
+	beta, err := g.Solve()
 	if err != nil {
 		return Coefficients{}, fmt.Errorf("model: fit failed: %w", err)
 	}
-
 	c := opts.Base
 	c.IdleW = opts.IdleW
 	c.IncludesChipShare = opts.IncludeChipShare
@@ -109,6 +166,17 @@ func Fit(samples []CalSample, opts FitOptions) (Coefficients, error) {
 		c.Disk, c.Net = beta[i], beta[i+1]
 	}
 	return c, nil
+}
+
+// Fit calibrates model coefficients from samples by weighted least squares,
+// the procedure the paper uses both offline (§4.1) and online (§3.2, where
+// offline and online samples are weighed equally).
+func Fit(samples []CalSample, opts FitOptions) (Coefficients, error) {
+	g, err := FitGram(samples, FitPlan{Scope: opts.Scope, IncludeChipShare: opts.IncludeChipShare})
+	if err != nil {
+		return Coefficients{}, err
+	}
+	return FitFromGram(g, opts)
 }
 
 // FitError returns the mean absolute relative error of the model over the

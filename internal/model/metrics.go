@@ -179,7 +179,9 @@ func (ms *MetricSeries) AddSpread(t0, t1 sim.Time, m Metrics) {
 	}
 	//pclint:allow floatsafe series are constructed with a positive bucket interval
 	scale := float64(t1-t0) / float64(ms.interval)
-	v := m.Vector()
+	// A stack array instead of m.Vector(): this runs on every attribution
+	// period and device-I/O completion, so it must not allocate.
+	v := [8]float64{m.Core, m.Ins, m.Float, m.Cache, m.Mem, m.Chip, m.Disk, m.Net}
 	for i, s := range ms.series {
 		//pclint:allow floatsafe exact-zero fast path skipping metrics that were never observed
 		if v[i] == 0 {
@@ -191,12 +193,37 @@ func (ms *MetricSeries) AddSpread(t0, t1 sim.Time, m Metrics) {
 
 // At returns the time-averaged metrics of bucket b.
 func (ms *MetricSeries) At(b int) Metrics {
-	var v [8]float64
-	for i, s := range ms.series {
-		v[i] = s.Bucket(b)
+	return Metrics{
+		Core:  ms.series[0].Bucket(b),
+		Ins:   ms.series[1].Bucket(b),
+		Float: ms.series[2].Bucket(b),
+		Cache: ms.series[3].Bucket(b),
+		Mem:   ms.series[4].Bucket(b),
+		Chip:  ms.series[5].Bucket(b),
+		Disk:  ms.series[6].Bucket(b),
+		Net:   ms.series[7].Bucket(b),
 	}
-	m, _ := MetricsFromVector(v[:])
-	return m
+}
+
+// DirtyLow returns the lowest bucket index any component series has written
+// since the last ClearDirty (≥ Len() when nothing changed). Like
+// stats.Series, the mark supports a single consumer — in this repo, the
+// recalibrator's incremental modeled-power cache.
+func (ms *MetricSeries) DirtyLow() int {
+	lo := ms.series[0].DirtyLow()
+	for _, s := range ms.series[1:] {
+		if d := s.DirtyLow(); d < lo {
+			lo = d
+		}
+	}
+	return lo
+}
+
+// ClearDirty resets the dirty mark of every component series.
+func (ms *MetricSeries) ClearDirty() {
+	for _, s := range ms.series {
+		s.ClearDirty()
+	}
 }
 
 // WindowMean returns the mean metrics over buckets [lo, hi).

@@ -78,6 +78,17 @@ type Meter interface {
 	Read(now sim.Time) []Sample
 }
 
+// SinceReader is an optional Meter capability: ReadSince(now, skip) returns
+// Read(now)[skip:] without materializing the skipped prefix. Consumers that
+// poll repeatedly (online recalibration) would otherwise pay O(t) per poll
+// re-deriving samples they have already consumed — O(t²) over a run. Both
+// simulated meters derive each sample independently per bucket (noise and
+// drift are pure functions of the bucket index), so starting mid-stream
+// yields bit-identical samples to a full Read.
+type SinceReader interface {
+	ReadSince(now sim.Time, skip int) []Sample
+}
+
 // bucketNoise derives a deterministic gaussian noise value for a bucket
 // index so that repeated Reads of the same window return identical samples.
 func bucketNoise(seed uint64, bucket int, sd float64) float64 {
@@ -130,10 +141,23 @@ func (m *ChipMeter) IdleW() float64 {
 
 // Read implements Meter.
 func (m *ChipMeter) Read(now sim.Time) []Sample {
+	return m.ReadSince(now, 0)
+}
+
+// ReadSince implements SinceReader: each bucket's sample is a pure function
+// of the bucket index, so starting the scan at skip returns exactly
+// Read(now)[skip:].
+func (m *ChipMeter) ReadSince(now sim.Time, skip int) []Sample {
 	m.rec.FlushUntil(now)
 	series := m.rec.PkgActiveSeries()
+	if skip < 0 {
+		skip = 0
+	}
 	var out []Sample
-	for b := 0; ; b++ {
+	if n := int((now-m.delay)/RecorderInterval) - skip; n > 0 {
+		out = make([]Sample, 0, n) // capacity hint only; the loop is authoritative
+	}
+	for b := skip; ; b++ {
 		start := sim.Time(b) * RecorderInterval
 		end := start + RecorderInterval
 		if end+m.delay > now {
@@ -180,12 +204,23 @@ func (m *WattsupMeter) IdleW() float64 { return m.rec.Profile().MachineIdleW }
 
 // Read implements Meter.
 func (m *WattsupMeter) Read(now sim.Time) []Sample {
+	return m.ReadSince(now, 0)
+}
+
+// ReadSince implements SinceReader; see ChipMeter.ReadSince.
+func (m *WattsupMeter) ReadSince(now sim.Time, skip int) []Sample {
 	m.rec.FlushUntil(now)
 	pkg := m.rec.PkgActiveSeries()
 	dev := m.rec.DeviceSeries()
 	perWindow := int(sim.Second / RecorderInterval)
+	if skip < 0 {
+		skip = 0
+	}
 	var out []Sample
-	for w := 0; ; w++ {
+	if n := int((now-m.delay)/sim.Second) - skip; n > 0 {
+		out = make([]Sample, 0, n) // capacity hint only; the loop is authoritative
+	}
+	for w := skip; ; w++ {
 		start := sim.Time(w) * sim.Second
 		end := start + sim.Second
 		if end+m.delay > now {

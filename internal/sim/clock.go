@@ -37,23 +37,31 @@ func FormatTime(t Time) string {
 	}
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the engine's
+// free list: gen increments each time the struct is retired, so a stale
+// Handle (kept after its event fired or was cancelled) can never cancel the
+// struct's next occupant.
 type event struct {
 	at  Time
 	seq uint64 // tiebreaker: FIFO among simultaneous events
 	fn  func()
+	gen uint64 // incarnation counter for Handle staleness checks
 	// index in the heap, maintained by heap.Interface methods; -1 when
 	// removed. Needed for cancellation.
 	index int
 }
 
-// Handle identifies a scheduled event so that it can be cancelled.
+// Handle identifies a scheduled event so that it can be cancelled. It pins
+// the event's incarnation, so a Handle held across the event firing (and
+// its struct being recycled for a new event) goes inert instead of aliasing
+// the new occupant.
 type Handle struct {
-	ev *event
+	ev  *event
+	gen uint64
 }
 
 // Cancelled reports whether the handle's event was cancelled or already ran.
-func (h Handle) live() bool { return h.ev != nil && h.ev.index >= 0 }
+func (h Handle) live() bool { return h.ev != nil && h.ev.index >= 0 && h.ev.gen == h.gen }
 
 type eventHeap []*event
 
@@ -101,6 +109,12 @@ type Engine struct {
 	heap  eventHeap
 	seq   uint64
 	probe Probe
+	// free recycles retired event structs. Scheduling is the hottest
+	// allocation site in a simulation (every context switch, I/O
+	// completion and sampling period schedules at least one event), so
+	// fired/cancelled events go back to this stack instead of the garbage
+	// collector.
+	free []*event
 }
 
 // SetProbe installs an audit probe (nil to disable).
@@ -124,9 +138,25 @@ func (e *Engine) At(t Time, fn func()) Handle {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
 	}
 	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{at: t, seq: e.seq, fn: fn}
+	}
 	heap.Push(&e.heap, ev)
-	return Handle{ev: ev}
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// retire returns a dequeued event to the free list, bumping its incarnation
+// so outstanding Handles to it go inert.
+func (e *Engine) retire(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -142,7 +172,7 @@ func (e *Engine) Cancel(h Handle) {
 	}
 	heap.Remove(&e.heap, h.ev.index)
 	h.ev.index = -1
-	h.ev.fn = nil
+	e.retire(h.ev)
 }
 
 // Pending returns the number of events waiting to run.
@@ -160,7 +190,10 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	fn := ev.fn
-	ev.fn = nil
+	// Retire before running fn: the callback may schedule new events, and
+	// the freshly freed struct being reused inside fn is exactly the case
+	// the generation counter exists for.
+	e.retire(ev)
 	if fn != nil {
 		fn()
 	}

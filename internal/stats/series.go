@@ -18,6 +18,12 @@ import (
 type Series struct {
 	interval sim.Time
 	buckets  []float64
+	// dirtyLo is the lowest bucket index written since the last ClearDirty
+	// (len(buckets) and above meaning "nothing dirty"). It lets a single
+	// derived-series consumer recompute only the suffix that may have
+	// changed: writes are not append-only (AddSpread can reach back into
+	// old buckets), so a low-water mark is the cheapest sound summary.
+	dirtyLo int
 }
 
 // NewSeries returns a series with the given bucket interval.
@@ -25,8 +31,28 @@ func NewSeries(interval sim.Time) *Series {
 	if interval <= 0 {
 		panic("stats: non-positive series interval")
 	}
-	return &Series{interval: interval}
+	return &Series{interval: interval, dirtyLo: clean}
 }
+
+// clean is the dirtyLo sentinel meaning "no writes since ClearDirty". A
+// zero-value Series conservatively reports bucket 0 dirty, which is safe
+// (consumers recompute everything) just not fast.
+const clean = int(^uint(0) >> 1) // max int
+
+func (s *Series) markDirty(idx int) {
+	if idx < s.dirtyLo {
+		s.dirtyLo = idx
+	}
+}
+
+// DirtyLow returns the lowest bucket index written since the last
+// ClearDirty; any value ≥ Len() means no bucket changed. The dirty mark is
+// a single shared low-water value, so it supports one consumer: whoever
+// calls ClearDirty owns the incremental view.
+func (s *Series) DirtyLow() int { return s.dirtyLo }
+
+// ClearDirty resets the dirty mark; see DirtyLow.
+func (s *Series) ClearDirty() { s.dirtyLo = clean }
 
 // Interval returns the bucket width.
 func (s *Series) Interval() sim.Time { return s.interval }
@@ -49,6 +75,7 @@ func (s *Series) Add(t sim.Time, value float64) {
 	idx := int(t / s.interval)
 	s.grow(idx)
 	s.buckets[idx] += value
+	s.markDirty(idx)
 }
 
 // AddSpread distributes value over the interval [t0, t1) proportionally to
@@ -65,6 +92,7 @@ func (s *Series) AddSpread(t0, t1 sim.Time, value float64) {
 	first := t0 / s.interval
 	last := (t1 - 1) / s.interval
 	s.grow(int(last))
+	s.markDirty(int(first))
 	for b := first; b <= last; b++ {
 		lo := b * s.interval
 		hi := lo + s.interval
@@ -74,6 +102,7 @@ func (s *Series) AddSpread(t0, t1 sim.Time, value float64) {
 		if hi > t1 {
 			hi = t1
 		}
+		//pclint:allow floatsafe total = t1-t0 is positive: the reversed/empty interval cases returned or panicked above
 		s.buckets[b] += value * float64(hi-lo) / total
 	}
 }
@@ -108,12 +137,14 @@ func (s *Series) Range(lo, hi int) []float64 {
 // RatePerSecond converts a per-bucket accumulated quantity (e.g. joules) to
 // a per-second rate (e.g. watts) for bucket i.
 func (s *Series) RatePerSecond(i int) float64 {
+	//pclint:allow floatsafe NewSeries rejects non-positive intervals at construction
 	return s.Bucket(i) * float64(sim.Second) / float64(s.interval)
 }
 
 // RateSeries returns all buckets converted to per-second rates.
 func (s *Series) RateSeries() []float64 {
 	out := make([]float64, len(s.buckets))
+	//pclint:allow floatsafe NewSeries rejects non-positive intervals at construction
 	scale := float64(sim.Second) / float64(s.interval)
 	for i, v := range s.buckets {
 		out[i] = v * scale
@@ -139,7 +170,9 @@ func (s *Series) Rebucket(factor int) *Series {
 		out.grow(i / factor)
 		// Scale so that the coarse bucket holds the total accumulated
 		// quantity (sum), keeping Add/AddSpread semantics consistent.
+		//pclint:allow floatsafe n >= 1: the inner loop always runs for j = i, which is in range
 		out.buckets[i/factor] = sum * float64(factor) / float64(n)
+		out.markDirty(i / factor)
 	}
 	return out
 }
@@ -192,6 +225,7 @@ func NormalizedCrossCorrelation(measured, model []float64, lag int) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
+	//pclint:allow floatsafe exactly-zero variance means a bit-constant series; a tolerance would misclassify genuinely near-constant data
 	if sxx == 0 || syy == 0 {
 		return 0
 	}

@@ -27,6 +27,7 @@ func (s *Summary) Observe(x float64) {
 		}
 	}
 	d := x - s.mean
+	//pclint:allow floatsafe s.n was just incremented, so it is at least 1
 	s.mean += d / float64(s.n)
 	s.m2 += d * (x - s.mean)
 }
@@ -147,6 +148,7 @@ func NewHistogram(lo, hi float64, n int) *Histogram {
 
 // Observe adds a value.
 func (h *Histogram) Observe(x float64) {
+	//pclint:allow floatsafe NewHistogram rejects hi <= lo at construction
 	idx := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
 	if idx < 0 {
 		idx = 0
@@ -163,6 +165,7 @@ func (h *Histogram) Count() int { return h.total }
 
 // BinCenter returns the midpoint value of bin i.
 func (h *Histogram) BinCenter(i int) float64 {
+	//pclint:allow floatsafe NewHistogram rejects empty bin sets at construction
 	w := (h.Hi - h.Lo) / float64(len(h.Bins))
 	return h.Lo + (float64(i)+0.5)*w
 }
@@ -173,7 +176,9 @@ func (h *Histogram) Density(i int) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	//pclint:allow floatsafe NewHistogram rejects empty bin sets at construction
 	w := (h.Hi - h.Lo) / float64(len(h.Bins))
+	//pclint:allow floatsafe w > 0 since NewHistogram guarantees hi > lo and at least one bin
 	return float64(h.Bins[i]) / float64(h.total) / w
 }
 

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Refreshes BENCH_numerics.json: the fast-path numerics micro-benchmarks
+# (prefix-sum cross-correlation vs the reference bucket loop, incremental
+# Gram refit vs the batch reference, raw Gram accumulator ops) plus the
+# end-to-end Figure 2 alignment run, with ns/op and allocation counts and
+# the derived ref-vs-fast speedups. Extra args go to `go test`
+# (e.g. -benchtime=1x for a smoke run, -benchtime=5s for stable numbers).
+set -e
+cd "$(dirname "$0")/.."
+out="$PWD/BENCH_numerics.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench='^(BenchmarkCorrelationCurve|BenchmarkRefit)$' \
+	-benchmem "$@" ./internal/align/ | tee -a "$tmp"
+go test -run='^$' -bench='^(BenchmarkLeastSquares|BenchmarkGramSolve|BenchmarkGramFold)$' \
+	-benchmem "$@" ./internal/linalg/ | tee -a "$tmp"
+go test -run='^$' -bench='^BenchmarkFig2AlignmentCrossCorrelation$' \
+	-benchmem "$@" . | tee -a "$tmp"
+
+# Parse `BenchmarkName[-P]  iters  <value unit>...` lines into JSON. The
+# unit pairs cover ns/op, B/op, allocs/op and any ReportMetric extras;
+# GOMAXPROCS suffixes are stripped so names are host-independent.
+awk -v cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns[name] = ""
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s", name, $2)
+	for (i = 3; i + 1 <= NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op")          { key = "ns_per_op"; ns[name] = v }
+		else if (u == "B/op")      key = "bytes_per_op"
+		else if (u == "allocs/op") key = "allocs_per_op"
+		else {
+			key = u
+			gsub(/[^A-Za-z0-9]+/, "_", key)
+			key = "metric_" key
+		}
+		line = line sprintf(", \"%s\": %s", key, v)
+	}
+	lines[++n] = line "}"
+}
+function speedup(refname, fastname,   r, f) {
+	r = ns[refname] + 0; f = ns[fastname] + 0
+	if (r <= 0 || f <= 0) return "null"
+	return sprintf("%.3f", r / f)
+}
+END {
+	printf "{\n  \"cores\": %d,\n  \"benchmarks\": [\n", cores
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	printf "  ],\n  \"speedups\": {\n"
+	printf "    \"correlation_curve_samples_1000\": %s,\n", \
+		speedup("BenchmarkCorrelationCurve/path=ref/samples=1000", \
+			"BenchmarkCorrelationCurve/path=fast/samples=1000")
+	printf "    \"correlation_curve_samples_10000\": %s,\n", \
+		speedup("BenchmarkCorrelationCurve/path=ref/samples=10000", \
+			"BenchmarkCorrelationCurve/path=fast/samples=10000")
+	printf "    \"refit\": %s,\n", \
+		speedup("BenchmarkRefit/path=ref", "BenchmarkRefit/path=fast")
+	printf "    \"least_squares_vs_gram_solve\": %s\n", \
+		speedup("BenchmarkLeastSquares", "BenchmarkGramSolve")
+	printf "  }\n}\n"
+}' "$tmp" > "$out"
+cat "$out"
