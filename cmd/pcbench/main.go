@@ -4,7 +4,8 @@
 // Usage:
 //
 //	pcbench -list
-//	pcbench [-seed N] [-jobs N] <id>...   # fig1..fig14, table1, coeffs, overhead
+//	pcbench [-seed N] [-jobs N] <id>...   # fig1..fig14, table1, coeffs, overhead,
+//	                                      # ablations, cluster3, faultmatrix
 //	pcbench [-seed N] [-jobs N] all
 //
 // -jobs bounds the worker pool (default: GOMAXPROCS). Distinct experiments

@@ -51,6 +51,12 @@ type Recalibrator struct {
 	// default). Lower values cost more rebuild work; higher values let
 	// rounding residue ride longer between resets.
 	RebuildEvery int
+	// Robust configures MAD-based outlier rejection and refit sanity
+	// gating (robust.go); the zero value disables both.
+	Robust Robust
+	// Audit, when non-nil, observes degradation actions (rejections,
+	// fallbacks) for invariant checking.
+	Audit AuditSink
 
 	delay      sim.Time
 	delayKnown bool
@@ -58,6 +64,8 @@ type Recalibrator struct {
 	seen       int
 	buffered   []power.Sample
 	refits     int
+	rejected   int
+	fallbacks  int
 	lastFitErr error
 
 	// Incremental normal-equation state. plan is the layout the grams were
@@ -78,6 +86,10 @@ type Recalibrator struct {
 	mp      []float64
 	mpCoeff model.Coefficients
 	mpValid bool
+
+	// lastNow is the most recent Ingest time, used to stamp audit events
+	// emitted from Refit (which has no clock of its own).
+	lastNow sim.Time
 }
 
 // NewRecalibrator returns a recalibrator with sensible defaults for the
@@ -111,6 +123,17 @@ func (r *Recalibrator) OnlineCount() int { return len(r.online) }
 
 // Refits returns how many successful refits have been performed.
 func (r *Recalibrator) Refits() int { return r.refits }
+
+// Delivered returns how many meter samples have reached the recalibrator —
+// the freshness signal the meter-health watchdog (core) monitors to detect
+// a dead meter.
+func (r *Recalibrator) Delivered() int { return r.seen }
+
+// Rejected returns how many aligned pairs robust ingestion has discarded.
+func (r *Recalibrator) Rejected() int { return r.rejected }
+
+// Fallbacks returns how many divergent refits fell back to the offline fit.
+func (r *Recalibrator) Fallbacks() int { return r.fallbacks }
 
 // readFresh pulls meter samples not seen by a previous Ingest. Meters that
 // implement power.SinceReader skip rematerializing the already-consumed
@@ -166,6 +189,7 @@ func (r *Recalibrator) modeledPower(ms *model.MetricSeries, current model.Coeffi
 // against the metric series, and appends online calibration samples.
 // It returns the number of new online samples.
 func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current model.Coefficients) int {
+	r.lastNow = now
 	fresh := r.readFresh(now)
 	if len(fresh) == 0 {
 		return 0
@@ -190,6 +214,9 @@ func (r *Recalibrator) Ingest(now sim.Time, ms *model.MetricSeries, current mode
 
 	pairs := AlignSamples(r.buffered, r.Meter.IdleW(), r.Meter.Interval(), ms, r.delay)
 	r.buffered = r.buffered[:0]
+	if r.Robust.Enabled {
+		pairs = r.rejectOutliers(now, pairs, current)
+	}
 	r.syncPlan(current)
 	added := 0
 	for _, p := range pairs {
@@ -309,8 +336,18 @@ func (r *Recalibrator) disableGram(err error) {
 // Refit fits the model over offline+online samples, equally weighted. The
 // base coefficients supply any terms outside the fitted scope. When the
 // incremental Gram matches the requested plan it is solved directly
-// (O(k³)); otherwise the batch reference path runs.
+// (O(k³)); otherwise the batch reference path runs. With Robust enabled, a
+// successful fit additionally passes the sanity gate: a divergent result
+// is replaced by the offline-only fit (robust.go).
 func (r *Recalibrator) Refit(base model.Coefficients) (model.Coefficients, error) {
+	c, err := r.refit(base)
+	if err != nil || !r.Robust.Enabled {
+		return c, err
+	}
+	return r.saneOrFallback(r.lastNow, base, c)
+}
+
+func (r *Recalibrator) refit(base model.Coefficients) (model.Coefficients, error) {
 	if len(r.online) < r.MinOnline {
 		return base, fmt.Errorf("align: only %d online samples (need %d)", len(r.online), r.MinOnline)
 	}

@@ -11,6 +11,10 @@ func TestDetlint(t *testing.T) {
 	analysistest.Run(t, detlint.Analyzer, "experiments")
 }
 
+func TestDetlintFaultsScope(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "faults")
+}
+
 func TestDetlintOutOfScope(t *testing.T) {
 	analysistest.Run(t, detlint.Analyzer, "other")
 }

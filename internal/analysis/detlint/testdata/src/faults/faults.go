@@ -1,0 +1,26 @@
+// Package faults is a detlint fixture named after the fault-injection
+// subsystem: injected fault streams must replay identically across runs,
+// so the package sits in the analyzer's deterministic scope.
+package faults
+
+import (
+	"time"
+
+	"sim"
+)
+
+// StampEvent trips the wall-clock rule: fault events carry virtual time,
+// never host time.
+func StampEvent() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time\.Now`
+}
+
+// HardSeededPlan constructs a fault stream from a literal seed.
+func HardSeededPlan() *sim.Rand {
+	return sim.NewRand(1) // want `hard-coded seed 1`
+}
+
+// SeededPlan threads the plan's configured seed; the sanctioned shape.
+func SeededPlan(seed uint64) *sim.Rand {
+	return sim.NewRand(seed)
+}

@@ -11,6 +11,10 @@ func TestHooklint(t *testing.T) {
 	analysistest.Run(t, hooklint.Analyzer, "server")
 }
 
+func TestHooklintFaultsSeam(t *testing.T) {
+	analysistest.Run(t, hooklint.Analyzer, "faults")
+}
+
 func TestHooklintAuditPackageExempt(t *testing.T) {
 	analysistest.Run(t, hooklint.Analyzer, "audit")
 }

@@ -1,0 +1,31 @@
+// Package faults is a hooklint fixture mirroring the fault-injection
+// subsystem's audit seam: fault emission sites report through an optional
+// AuditSink and must guard it like every other hook.
+package faults
+
+// Event is one injected fault.
+type Event struct {
+	Site, Kind string
+}
+
+// AuditSink observes injected faults; nil disables observation.
+type AuditSink interface {
+	OnFault(e Event)
+}
+
+// Plan carries the optional fault audit hook.
+type Plan struct {
+	Audit AuditSink
+}
+
+// emitUnguarded reports a fault without the nil guard.
+func (p *Plan) emitUnguarded(e Event) {
+	p.Audit.OnFault(e) // want `call to p\.Audit\.OnFault through hook interface AuditSink`
+}
+
+// emit is the canonical guarded emission seam.
+func (p *Plan) emit(e Event) {
+	if p.Audit != nil {
+		p.Audit.OnFault(e)
+	}
+}

@@ -76,6 +76,12 @@ type lifeState struct {
 	retains, releases int
 }
 
+// reqState is the audited lifecycle of one cluster request.
+type reqState struct {
+	opened, finished, dropped bool
+	redispatches              int
+}
+
 // inflightSeg is one enqueued-but-undelivered socket segment.
 type inflightSeg struct {
 	ctx   kernel.Context
@@ -118,6 +124,15 @@ type Auditor struct {
 	// lifecycle
 	life map[*core.Container]*lifeState
 
+	// degradation bookkeeping
+	counterFixes   int
+	recalRejects   int
+	recalFallbacks int
+	faultEvents    int
+
+	// cluster ledger per-request lifecycle
+	reqs map[uint64]*reqState
+
 	// socket tag conservation
 	fifos map[any]*fifoState
 }
@@ -131,6 +146,7 @@ func New(label string) *Auditor {
 		attributed: stats.NewSeries(power.RecorderInterval),
 		life:       map[*core.Container]*lifeState{},
 		fifos:      map[any]*fifoState{},
+		reqs:       map[uint64]*reqState{},
 	}
 }
 
@@ -158,6 +174,22 @@ func (a *Auditor) report(check string, t sim.Time, format string, args ...any) {
 	}
 	a.violations = append(a.violations, Violation{Check: check, T: t, Detail: fmt.Sprintf(format, args...)})
 }
+
+// CounterFixes returns how many counter-fault repairs (unwraps and
+// extrapolations) the attached facility reported.
+func (a *Auditor) CounterFixes() int {
+	return a.counterFixes
+}
+
+// RecalRejects returns how many aligned pairs robust ingestion rejected.
+func (a *Auditor) RecalRejects() int { return a.recalRejects }
+
+// RecalFallbacks returns how many degradation fallbacks (offline-fit
+// replacements, meter failovers) were reported.
+func (a *Auditor) RecalFallbacks() int { return a.recalFallbacks }
+
+// FaultEvents returns how many injected faults were reported.
+func (a *Auditor) FaultEvents() int { return a.faultEvents }
 
 // Violations returns every recorded violation.
 func (a *Auditor) Violations() []Violation {
@@ -260,6 +292,15 @@ func (a *Auditor) FinalizeMachine() error {
 // completion, before the final partial sampling period lands), and in
 // aggregate the shortfall must stay within LedgerTol.
 func (a *Auditor) CheckLedger(l *cluster.Ledger, completed []cluster.CompletedRequest, now sim.Time) {
+	// Finished and Dropped are mutually exclusive outcomes: an entry with
+	// both was double-accounted somewhere (e.g. a response accepted after
+	// the dispatcher gave the request up).
+	for _, e := range l.Entries() {
+		if e.Finished && e.Dropped {
+			a.report("cluster-ledger", now,
+				"request %d both finished and dropped", e.Tag.RequestID)
+		}
+	}
 	var ledgerJ, contJ float64
 	n := 0
 	for _, c := range completed {

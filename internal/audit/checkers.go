@@ -6,8 +6,10 @@ package audit
 // FinalizeMachine.
 
 import (
+	"powercontainers/internal/align"
 	"powercontainers/internal/cluster"
 	"powercontainers/internal/core"
+	"powercontainers/internal/faults"
 	"powercontainers/internal/kernel"
 	"powercontainers/internal/power"
 	"powercontainers/internal/sim"
@@ -20,6 +22,8 @@ var (
 	_ power.AuditSink   = (*Auditor)(nil)
 	_ core.AuditHook    = (*Auditor)(nil)
 	_ cluster.AuditSink = (*Auditor)(nil)
+	_ align.AuditSink   = (*Auditor)(nil)
+	_ faults.AuditSink  = (*Auditor)(nil)
 )
 
 // ---- sim sanity ----
@@ -126,6 +130,18 @@ func (a *Auditor) OnDevicePeriod(c *core.Container, start, end sim.Time, energyJ
 	a.attributed.AddSpread(start, end, energyJ)
 }
 
+// ---- counter repair sanity ----
+
+// OnCounterFix implements core.AuditHook: a counter-fault repair
+// (wraparound unwrap or lost-interrupt extrapolation) must name a known
+// repair kind. The count is exposed for degradation experiments.
+func (a *Auditor) OnCounterFix(coreID int, kind string, t sim.Time) {
+	if kind != "unwrap" && kind != "extrapolate" {
+		a.report("counter-fix", t, "core %d reported unknown counter repair %q", coreID, kind)
+	}
+	a.counterFixes++
+}
+
 // ---- container lifecycle legality (§3.5) ----
 
 // OnRetain implements core.AuditHook: a released request container must
@@ -182,11 +198,27 @@ func (a *Auditor) OnRecord(kind string, t0, t1 sim.Time, joules float64) {
 
 // ---- cluster ledger (§3.4) ----
 
+// reqAudit returns the per-request lifecycle state, creating it on first
+// sight so hooks observed out of order still accumulate.
+func (a *Auditor) reqAudit(id uint64) *reqState {
+	st := a.reqs[id]
+	if st == nil {
+		st = &reqState{}
+		a.reqs[id] = st
+	}
+	return st
+}
+
 // OnLedgerOpen implements cluster.AuditSink.
 func (a *Auditor) OnLedgerOpen(tag cluster.ContainerTag, now sim.Time) {
 	if tag.EnergyJ != 0 || tag.CPUTime != 0 {
 		a.report("cluster-ledger", now, "request %d opened with non-zero usage", tag.RequestID)
 	}
+	st := a.reqAudit(tag.RequestID)
+	if st.opened {
+		a.report("cluster-ledger", now, "request %d opened twice", tag.RequestID)
+	}
+	st.opened = true
 }
 
 // OnLedgerClose implements cluster.AuditSink.
@@ -200,4 +232,68 @@ func (a *Auditor) OnLedgerClose(tag cluster.ContainerTag, alreadyFinished bool, 
 	if tag.Machine == "" {
 		a.report("cluster-ledger", now, "request %d closed without executing machine", tag.RequestID)
 	}
+	st := a.reqAudit(tag.RequestID)
+	if st.dropped {
+		a.report("cluster-ledger", now, "request %d closed after being dropped", tag.RequestID)
+	}
+	st.finished = true
+}
+
+// OnLedgerDrop implements cluster.AuditSink: a request may be given up on
+// at most once, and never after it already finished.
+func (a *Auditor) OnLedgerDrop(tag cluster.ContainerTag, alreadyFinished bool, now sim.Time) {
+	st := a.reqAudit(tag.RequestID)
+	if alreadyFinished || st.finished {
+		a.report("cluster-ledger", now, "request %d dropped after finishing", tag.RequestID)
+	}
+	if st.dropped {
+		a.report("cluster-ledger", now, "request %d dropped twice", tag.RequestID)
+	}
+	st.dropped = true
+}
+
+// OnLedgerRedispatch implements cluster.AuditSink: redispatch attempts
+// count up one at a time, and a completed or dropped request must never be
+// dispatched again (double-dispatch).
+func (a *Auditor) OnLedgerRedispatch(tag cluster.ContainerTag, attempts int, now sim.Time) {
+	st := a.reqAudit(tag.RequestID)
+	if st.finished || st.dropped {
+		a.report("cluster-ledger", now, "request %d re-dispatched after completion or drop", tag.RequestID)
+	}
+	if attempts != st.redispatches+1 {
+		a.report("cluster-ledger", now, "request %d redispatch count jumped %d -> %d",
+			tag.RequestID, st.redispatches, attempts)
+	}
+	st.redispatches = attempts
+}
+
+// ---- degradation actions (recalibration, fault injection) ----
+
+// OnRecalReject implements align.AuditSink: every rejected pair's deviation
+// must genuinely exceed its positive threshold.
+func (a *Auditor) OnRecalReject(now sim.Time, deviationW, thresholdW float64) {
+	if !(thresholdW > 0) {
+		a.report("recalibration", now, "outlier rejected against non-positive threshold %g W", thresholdW)
+	} else if dev := deviationW; dev < thresholdW && -dev < thresholdW {
+		a.report("recalibration", now, "rejected pair deviation %g W within threshold %g W", dev, thresholdW)
+	}
+	a.recalRejects++
+}
+
+// OnRecalFallback implements align.AuditSink.
+func (a *Auditor) OnRecalFallback(now sim.Time, reason string) {
+	if reason == "" {
+		a.report("recalibration", now, "degradation fallback without a reason")
+	}
+	a.recalFallbacks++
+}
+
+// OnFault implements faults.AuditSink: injected faults are counted so
+// experiments can reconcile injected-vs-degraded totals; event shape is
+// sanity-checked.
+func (a *Auditor) OnFault(e faults.Event) {
+	if e.Site == "" || e.Kind == "" {
+		a.report("fault-injection", e.T, "fault event missing site or kind: %+v", e)
+	}
+	a.faultEvents++
 }

@@ -79,6 +79,94 @@ func TestLedgerHookDetection(t *testing.T) {
 			t.Fatal("machineless close not detected")
 		}
 	})
+	t.Run("drop after finish", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger()
+		l.Audit = a
+		tag := l.Open("app", 0, 0)
+		if err := l.Close(closeTag(tag, 0.5, sim.Millisecond), sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Drop(tag.RequestID, 2*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatal("drop after finish not detected")
+		}
+	})
+	t.Run("double drop", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger()
+		l.Audit = a
+		tag := l.Open("app", 0, 0)
+		if err := l.Drop(tag.RequestID, sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Drop(tag.RequestID, 2*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatal("double drop not detected")
+		}
+	})
+	t.Run("close after drop", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger()
+		l.Audit = a
+		tag := l.Open("app", 0, 0)
+		if err := l.Drop(tag.RequestID, sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(closeTag(tag, 0.5, sim.Millisecond), 2*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatal("close after drop not detected")
+		}
+	})
+	t.Run("clean redispatch then close", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger()
+		l.Audit = a
+		tag := l.Open("app", 0, 0)
+		if err := l.NoteRedispatch(tag.RequestID, sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.NoteRedispatch(tag.RequestID, 2*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(closeTag(tag, 0.5, sim.Millisecond), 3*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Err(); err != nil {
+			t.Fatalf("clean redispatch flow flagged: %v", err)
+		}
+	})
+	t.Run("redispatch after completion", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger()
+		l.Audit = a
+		tag := l.Open("app", 0, 0)
+		if err := l.Close(closeTag(tag, 0.5, sim.Millisecond), sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.NoteRedispatch(tag.RequestID, 2*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatal("redispatch after completion not detected")
+		}
+	})
+	t.Run("redispatch count jump", func(t *testing.T) {
+		a := New("t")
+		// Fired directly: a well-behaved ledger cannot produce a jump, so
+		// exercise the hook with attempts skipping from 0 to 3.
+		a.OnLedgerOpen(cluster.ContainerTag{RequestID: 5}, 0)
+		a.OnLedgerRedispatch(cluster.ContainerTag{RequestID: 5}, 3, sim.Millisecond)
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatal("redispatch count jump not detected")
+		}
+	})
 }
 
 // completed builds the dispatcher-side completion record for one request.
@@ -147,6 +235,22 @@ func TestCheckLedgerReconciliation(t *testing.T) {
 		a.CheckLedger(l, []cluster.CompletedRequest{completed(orphan, c)}, sim.Second)
 		if countCheck(a, "cluster-ledger") != 1 {
 			t.Fatal("ledger-less completion not detected")
+		}
+	})
+	t.Run("entry both finished and dropped", func(t *testing.T) {
+		a := New("t")
+		l := cluster.NewLedger() // no online audit: end-of-run sweep must catch it
+		tag := l.Open("app", 0, 100*sim.Millisecond)
+		c := &core.Container{Kind: core.KindRequest, CPUEnergyJ: 1.0, CPUTime: 2 * sim.Millisecond}
+		if err := l.Close(closeTag(tag, 0.95, sim.Millisecond), 200*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Drop(tag.RequestID, 300*sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		a.CheckLedger(l, []cluster.CompletedRequest{completed(tag, c)}, sim.Second)
+		if countCheck(a, "cluster-ledger") != 1 {
+			t.Fatalf("finished+dropped entry not detected: %v", a.Violations())
 		}
 	})
 	t.Run("unfinished requests ignored", func(t *testing.T) {

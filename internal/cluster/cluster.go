@@ -82,7 +82,19 @@ type Node struct {
 	// utilization.
 	loadEWMA    float64
 	loadUpdated float64
+
+	// failed marks the node dead: responses from it are lost and the
+	// dispatcher's health checks steer new work away. Fault plans toggle
+	// it (the node implements faults.FailureTarget).
+	failed bool
 }
+
+// SetFailed marks or clears node failure; fault-injection plans call it
+// through the faults.FailureTarget interface.
+func (n *Node) SetFailed(failed bool) { n.failed = failed }
+
+// Failed reports whether the node is currently down.
+func (n *Node) Failed() bool { return n.failed }
 
 // noteDispatch decays and bumps the node's offered-load estimate.
 func (n *Node) noteDispatch(nowSec, svcSec float64) {
@@ -140,6 +152,23 @@ type Dispatcher struct {
 	// request of the app goes to the node. Computed by SetRates.
 	splits map[string][]float64
 	rng    *sim.Rand
+
+	// Health-check state (EnableHealth); all nil/empty when disabled, and
+	// every fault-tolerance path is skipped so the legacy dispatch
+	// behaviour — including rng consumption — is untouched.
+	health   *HealthConfig
+	healthy  []bool
+	strikes  []int
+	probeRng []*sim.Rand
+	inflight map[uint64]*inflightReq
+}
+
+// inflightReq is a dispatched-but-unanswered request the dispatcher may
+// need to redispatch if its node fails.
+type inflightReq struct {
+	app     *App
+	node    int
+	attempt int
 }
 
 // CompletedRequest records one finished request and the app and node it
@@ -349,10 +378,16 @@ func equalSplit(n int) []float64 {
 // pick chooses the node for a request of the given app: the planned split
 // when one exists, with an overload guard that reroutes when the chosen
 // node's offered load runs far past saturation while the other has room.
-func (d *Dispatcher) pick(app *App) int {
+// The second result is false when no node can take the request — an empty
+// node set, or (with health checks enabled) every node marked unhealthy —
+// so callers degrade to an explicit drop instead of panicking.
+func (d *Dispatcher) pick(app *App) (int, bool) {
+	if len(d.Nodes) == 0 {
+		return 0, false
+	}
 	var node int
 	if d.splits != nil && d.rng != nil {
-		if split, ok := d.splits[app.Name]; ok {
+		if split, ok := d.splits[app.Name]; ok && splitTotal(split) > 0 {
 			node = d.rng.Pick(split)
 		}
 	} else {
@@ -375,17 +410,62 @@ func (d *Dispatcher) pick(app *App) int {
 			}
 		}
 	}
-	return node
+	if d.health != nil && !d.healthy[node] {
+		return d.pickHealthy()
+	}
+	return node, true
+}
+
+// pickHealthy returns the least-loaded node currently believed healthy
+// (lowest index breaking ties), or false when none is.
+func (d *Dispatcher) pickHealthy() (int, bool) {
+	now := d.nowSec()
+	best, bestUtil, found := 0, 0.0, false
+	for i := range d.Nodes {
+		if d.health != nil && !d.healthy[i] {
+			continue
+		}
+		if u := d.Nodes[i].estUtil(now); !found || u < bestUtil {
+			best, bestUtil, found = i, u, true
+		}
+	}
+	return best, found
+}
+
+func splitTotal(split []float64) float64 {
+	var t float64
+	for _, v := range split {
+		t += v
+	}
+	return t
 }
 
 // Dispatch routes one request of the app. The dispatch message carries a
 // container tag with the request identifier and control policy; the
 // completion path returns cumulative statistics to the dispatcher's ledger.
+// When no node can take the request it is opened and immediately dropped,
+// keeping the ledger's accounting complete (opened = finished + dropped +
+// in flight) instead of losing the request silently.
 func (d *Dispatcher) Dispatch(app *App) {
-	node := d.pick(app)
+	node, ok := d.pick(app)
+	tag := d.Ledger.Open(app.Name, d.PowerTargets[app.Name], d.Eng.Now())
+	if !ok {
+		d.Ledger.Drop(tag.RequestID, d.Eng.Now())
+		return
+	}
+	if d.health != nil {
+		d.inflight[tag.RequestID] = &inflightReq{app: app, node: node}
+	}
+	d.dispatchTo(node, app, tag, 0)
+}
+
+// dispatchTo sends one (possibly re-dispatched) request attempt to a node.
+// The completion callback is attempt-guarded: a response from an attempt
+// superseded by a redispatch, or from a node that failed before the
+// response left it, is discarded rather than double-counted.
+func (d *Dispatcher) dispatchTo(node int, app *App, tag ContainerTag, attempt int) {
 	n := d.Nodes[node]
 	req := app.NewRequest()
-	tag := d.Ledger.Open(app.Name, d.PowerTargets[app.Name], d.Eng.Now())
 	// The executing machine materializes the remote container and applies
 	// the propagated control policy before the request runs.
 	req.Cont = n.Fac.NewContainer(req.Type)
@@ -394,12 +474,171 @@ func (d *Dispatcher) Dispatch(app *App) {
 	d.perApp[node][app.Name]++
 	machine := n.K.Name()
 	n.Gens[app.Name].InjectPrepared(req, func(r *server.Request) {
+		if d.health != nil {
+			fl, live := d.inflight[tag.RequestID]
+			if !live || fl.attempt != attempt {
+				return // superseded by a redispatch
+			}
+			if n.Failed() {
+				return // response lost with the failed node
+			}
+			delete(d.inflight, tag.RequestID)
+		}
 		d.completed = append(d.completed, CompletedRequest{App: app.Name, Node: node, RequestID: tag.RequestID, Req: r})
 		// Response message tagged with cumulative usage (§3.4).
 		if err := d.Ledger.Close(responseTag(tag, machine, r), d.Eng.Now()); err != nil {
 			panic(err)
 		}
 	})
+}
+
+// HealthConfig tunes the dispatcher's per-node health checks and the
+// graceful-degradation response to node failure: unhealthy nodes are probed
+// on a seeded-jitter exponential backoff, their in-flight requests are
+// re-dispatched to healthy nodes a bounded number of times, and requests
+// out of redispatch budget (or with no healthy node left) are explicitly
+// dropped in the ledger.
+type HealthConfig struct {
+	// ProbeEvery is the healthy-node probe cadence (default 100 ms).
+	ProbeEvery sim.Time
+	// Timeout is the probe response deadline: a dead node is only
+	// declared after its probe times out (default 20 ms).
+	Timeout sim.Time
+	// BackoffBase is the first retry gap after a failed probe; successive
+	// failures double it (default ProbeEvery).
+	BackoffBase sim.Time
+	// BackoffMax caps the exponential backoff (default 8×BackoffBase).
+	BackoffMax sim.Time
+	// JitterFrac spreads every probe gap by ±JitterFrac using the seeded
+	// rng, desynchronizing probe storms deterministically (default 0.1).
+	JitterFrac float64
+	// MaxRedispatch bounds how many times one request may be re-dispatched
+	// before it is dropped (default 2).
+	MaxRedispatch int
+}
+
+func (c *HealthConfig) fill() {
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = 100 * sim.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 20 * sim.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = c.ProbeEvery
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 8 * c.BackoffBase
+	}
+	if c.JitterFrac <= 0 {
+		c.JitterFrac = 0.1
+	}
+	if c.MaxRedispatch <= 0 {
+		c.MaxRedispatch = 2
+	}
+}
+
+// EnableHealth starts per-node health checking. Each node's probe stream
+// draws jitter from its own fork of rng, so probe timing is deterministic
+// regardless of how node events interleave. Call before the simulation
+// starts; with health never enabled the dispatcher behaves exactly as
+// before, including its random-stream consumption.
+func (d *Dispatcher) EnableHealth(cfg HealthConfig, rng *sim.Rand) {
+	cfg.fill()
+	d.health = &cfg
+	d.healthy = make([]bool, len(d.Nodes))
+	d.strikes = make([]int, len(d.Nodes))
+	d.inflight = map[uint64]*inflightReq{}
+	d.probeRng = make([]*sim.Rand, len(d.Nodes))
+	for i := range d.Nodes {
+		d.healthy[i] = true
+		d.probeRng[i] = rng.Fork(uint64(i) + 1)
+		d.scheduleProbe(i, cfg.ProbeEvery)
+	}
+}
+
+// InflightCount returns how many dispatched requests await a response.
+func (d *Dispatcher) InflightCount() int { return len(d.inflight) }
+
+// Healthy reports the dispatcher's current belief about a node.
+func (d *Dispatcher) Healthy(node int) bool {
+	return d.health == nil || d.healthy[node]
+}
+
+// jittered spreads a probe gap by ±JitterFrac with the node's seeded rng.
+func (d *Dispatcher) jittered(node int, gap sim.Time) sim.Time {
+	j := d.health.JitterFrac * (2*d.probeRng[node].Float64() - 1)
+	out := gap + sim.Time(float64(gap)*j)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+func (d *Dispatcher) scheduleProbe(node int, gap sim.Time) {
+	d.Eng.After(d.jittered(node, gap), func() { d.probe(node) })
+}
+
+// probe checks one node. A responsive node is (re)marked healthy and
+// re-probed at the base cadence; an unresponsive probe times out first,
+// then marks the node unhealthy, re-dispatches its in-flight requests and
+// backs off exponentially.
+func (d *Dispatcher) probe(node int) {
+	if !d.Nodes[node].Failed() {
+		d.healthy[node] = true
+		d.strikes[node] = 0
+		d.scheduleProbe(node, d.health.ProbeEvery)
+		return
+	}
+	d.Eng.After(d.health.Timeout, func() {
+		if d.Nodes[node].Failed() {
+			d.healthy[node] = false
+			d.strikes[node]++
+			d.redispatchNode(node)
+			gap := d.health.BackoffBase
+			for s := 1; s < d.strikes[node] && gap < d.health.BackoffMax; s++ {
+				gap *= 2
+			}
+			if gap > d.health.BackoffMax {
+				gap = d.health.BackoffMax
+			}
+			d.scheduleProbe(node, gap)
+			return
+		}
+		// Recovered between probe and timeout.
+		d.healthy[node] = true
+		d.strikes[node] = 0
+		d.scheduleProbe(node, d.health.ProbeEvery)
+	})
+}
+
+// redispatchNode moves a failed node's in-flight requests to healthy nodes
+// in request-id order (deterministic: never ranges over the map directly).
+// A request past its redispatch budget, or with nowhere to go, is dropped
+// explicitly so the ledger still accounts for it.
+func (d *Dispatcher) redispatchNode(node int) {
+	var ids []uint64
+	for id, fl := range d.inflight {
+		if fl.node == node {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	now := d.Eng.Now()
+	for _, id := range ids {
+		fl := d.inflight[id]
+		fl.attempt++
+		target, ok := d.pickHealthy()
+		if !ok || fl.attempt > d.health.MaxRedispatch {
+			delete(d.inflight, id)
+			d.Ledger.Drop(id, now)
+			continue
+		}
+		d.Ledger.NoteRedispatch(id, now)
+		fl.node = target
+		e, _ := d.Ledger.Entry(id)
+		d.dispatchTo(target, fl.app, e.Tag, fl.attempt)
+	}
 }
 
 // RunOpenLoop drives Poisson arrivals for every app at the given per-app

@@ -37,6 +37,13 @@ type LedgerEntry struct {
 	Arrive   sim.Time
 	Done     sim.Time
 	Finished bool
+	// Dropped marks a request the dispatcher gave up on (node failure
+	// with no healthy target, or redispatch budget exhausted); Finished
+	// and Dropped are mutually exclusive.
+	Dropped bool
+	// Redispatches counts how many times the request was re-sent to
+	// another node after its executing node failed.
+	Redispatches int
 }
 
 // ResponseTime returns the request's cluster residence time.
@@ -55,6 +62,12 @@ type AuditSink interface {
 	// OnLedgerClose fires when a response tag folds into the ledger;
 	// alreadyFinished flags a double close of the same request.
 	OnLedgerClose(tag ContainerTag, alreadyFinished bool, now sim.Time)
+	// OnLedgerDrop fires when the dispatcher gives up on a request;
+	// alreadyFinished flags a drop after the request completed.
+	OnLedgerDrop(tag ContainerTag, alreadyFinished bool, now sim.Time)
+	// OnLedgerRedispatch fires when a request is re-sent after a node
+	// failure; attempts is its cumulative redispatch count.
+	OnLedgerRedispatch(tag ContainerTag, attempts int, now sim.Time)
 }
 
 // Ledger aggregates cross-machine request accounting at the dispatcher.
@@ -99,6 +112,64 @@ func (l *Ledger) Close(tag ContainerTag, now sim.Time) error {
 	e.Done = now
 	e.Finished = true
 	return nil
+}
+
+// Drop marks a request as explicitly given up: its node failed with no
+// healthy target left, or its redispatch budget ran out. Dropped entries
+// keep the ledger's accounting identity (opened = finished + dropped +
+// in flight) intact under node loss.
+func (l *Ledger) Drop(id uint64, now sim.Time) error {
+	e, ok := l.entries[id]
+	if !ok {
+		return fmt.Errorf("cluster: drop of unknown request %d", id)
+	}
+	if l.Audit != nil {
+		l.Audit.OnLedgerDrop(e.Tag, e.Finished, now)
+	}
+	e.Dropped = true
+	e.Done = now
+	return nil
+}
+
+// NoteRedispatch records that a request was re-sent to another node after
+// its executing node failed.
+func (l *Ledger) NoteRedispatch(id uint64, now sim.Time) error {
+	e, ok := l.entries[id]
+	if !ok {
+		return fmt.Errorf("cluster: redispatch of unknown request %d", id)
+	}
+	e.Redispatches++
+	if l.Audit != nil {
+		l.Audit.OnLedgerRedispatch(e.Tag, e.Redispatches, now)
+	}
+	return nil
+}
+
+// Counts returns the ledger's accounting totals: requests opened, finished
+// and dropped, plus cumulative redispatches. Opened − finished − dropped
+// is the dispatcher's in-flight population.
+func (l *Ledger) Counts() (opened, finished, dropped, redispatches int) {
+	for _, e := range l.entries {
+		opened++
+		if e.Finished {
+			finished++
+		}
+		if e.Dropped {
+			dropped++
+		}
+		redispatches += e.Redispatches
+	}
+	return
+}
+
+// Entries returns every ledger entry in request-id order.
+func (l *Ledger) Entries() []*LedgerEntry {
+	var out []*LedgerEntry
+	for _, e := range l.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tag.RequestID < out[j].Tag.RequestID })
+	return out
 }
 
 // Entry returns a request's ledger entry.

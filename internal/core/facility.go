@@ -73,6 +73,10 @@ type Config struct {
 	// estimate with an oracle that knows exactly which sibling cores are
 	// busy — the ablation baseline for the coordination-free design.
 	UseOracleChipShare bool
+	// DisableCounterRepair turns off the counter-fault degradation
+	// responses (wraparound unwrap and lost-interrupt extrapolation) for
+	// the ablation; corrupted counter deltas then flow through unrepaired.
+	DisableCounterRepair bool
 }
 
 // AuditHook observes attribution and container lifecycle events for
@@ -93,6 +97,12 @@ type AuditHook interface {
 	// task reference.
 	OnRetain(c *Container)
 	OnRelease(c *Container)
+	// OnCounterFix fires when the facility repairs a corrupted counter
+	// delta: kind is "unwrap" (a wrapped-register delta was shifted back
+	// up by the modulus) or "extrapolate" (a period too long to unwrap
+	// unambiguously — lost overflow interrupts — was reconstructed from
+	// the previous period's rates).
+	OnCounterFix(coreID int, kind string, t sim.Time)
 }
 
 // coreState is the facility's per-core sampling baseline.
@@ -101,6 +111,12 @@ type coreState struct {
 	last     cpu.Counters
 	lastTime sim.Time
 	maintOps int
+	// lastM remembers the previous period's (observer-compensated,
+	// capped) metrics so a period whose counters are unrecoverable —
+	// lost overflow interrupts under a wrapping register — can be
+	// reconstructed by capped extrapolation.
+	lastM      model.Metrics
+	lastMValid bool
 }
 
 // Facility is the power-container facility attached to one kernel.
@@ -206,7 +222,7 @@ func (f *Facility) TotalAccountedEnergyJ() float64 {
 // maintenance operation that the (re)entry sample performs.
 func (f *Facility) resetBaseline(c *cpu.Core) {
 	st := &f.perCore[c.ID]
-	st.last = c.Counters() // read before charging: the op lands in the new period
+	st.last = f.K.ReadCounters(c.ID) // read before charging: the op lands in the new period
 	st.lastTime = f.K.Now()
 	st.valid = true
 	f.K.ChargeMaintenance(c.ID, f.maint)
@@ -223,14 +239,36 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 		f.resetBaseline(c)
 		return
 	}
-	cur := c.Counters()
+	cur := f.K.ReadCounters(c.ID)
 	wall := now - st.lastTime
 	if wall > 0 {
 		delta := cur.Sub(st.last)
-		if !f.cfg.DisableObserverComp && st.maintOps > 0 {
+		elapsedCycles := float64(wall) / float64(sim.Second) * c.FreqHz
+		fixKind := ""
+		if w := f.K.CounterWrapModulus(); w > 0 && !f.cfg.DisableCounterRepair {
+			// A wrapped register makes cur < last look like a negative
+			// delta: shift back up by the modulus (a single missed wrap).
+			if delta.Cycles < 0 || delta.Instructions < 0 || delta.Float < 0 ||
+				delta.Cache < 0 || delta.Mem < 0 {
+				delta = unwrapDelta(delta, w)
+				fixKind = "unwrap"
+			}
+			// A period spanning at least one full modulus (lost overflow
+			// interrupts kept the sampler away) cannot be unwrapped
+			// unambiguously — a whole-modulus span even yields a plausible
+			// non-negative delta that silently lost w counts. Reconstruct
+			// it from the previous period's rates, capped at full
+			// occupancy.
+			if elapsedCycles >= w && st.lastMValid {
+				delta = extrapolateDelta(st.lastM, elapsedCycles)
+				fixKind = "extrapolate"
+			}
+		}
+		// Extrapolated deltas derive from already-compensated metrics;
+		// subtracting maintenance again would double-count it.
+		if fixKind != "extrapolate" && !f.cfg.DisableObserverComp && st.maintOps > 0 {
 			delta = delta.Sub(f.maint.Scale(float64(st.maintOps))).ClampNonNegative()
 		}
-		elapsedCycles := float64(wall) / float64(sim.Second) * c.FreqHz
 		m := model.Metrics{
 			Core:  delta.Cycles / elapsedCycles,
 			Ins:   delta.Instructions / elapsedCycles,
@@ -269,6 +307,11 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 		}
 		f.metrics.AddSpread(st.lastTime, now, m)
 		f.hookAnomaly(c, t, p-chipP)
+		if fixKind != "" && f.Audit != nil {
+			f.Audit.OnCounterFix(c.ID, fixKind, now)
+		}
+		st.lastM = m
+		st.lastMValid = true
 	}
 	// The maintenance operation this sample performs opens the next
 	// period; its events (injected after the counter read above) belong
@@ -278,6 +321,45 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 	f.K.ChargeMaintenance(c.ID, f.maint)
 	f.SampleCount++
 	st.maintOps = 1
+}
+
+// unwrapDelta repairs a counter delta whose minuend wrapped once: negative
+// components gain the modulus back.
+func unwrapDelta(d cpu.Counters, w float64) cpu.Counters {
+	fix := func(v float64) float64 {
+		if v < 0 {
+			return v + w
+		}
+		return v
+	}
+	return cpu.Counters{
+		Cycles:       fix(d.Cycles),
+		Instructions: fix(d.Instructions),
+		Float:        fix(d.Float),
+		Cache:        fix(d.Cache),
+		Mem:          fix(d.Mem),
+	}
+}
+
+// extrapolateDelta reconstructs an unrecoverable period's counter delta
+// from the previous period's per-cycle rates, capped at full occupancy
+// (Core ≤ 1): the best available estimate when lost overflow interrupts
+// let the register wrap an unknown number of times.
+func extrapolateDelta(m model.Metrics, elapsedCycles float64) cpu.Counters {
+	core := m.Core
+	if core > 1 {
+		core = 1
+	}
+	if core < 0 {
+		core = 0
+	}
+	return cpu.Counters{
+		Cycles:       core * elapsedCycles,
+		Instructions: m.Ins * elapsedCycles,
+		Float:        m.Float * elapsedCycles,
+		Cache:        m.Cache * elapsedCycles,
+		Mem:          m.Mem * elapsedCycles,
+	}
 }
 
 // SampleNow performs one container maintenance operation on a core

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestFaultMatrixDegradationProperty is the robustness acceptance
+// criterion: under 10% meter dropout (plus spikes at half that rate),
+// attribution stays within 5% of the fault-free run when degradation is
+// enabled — and demonstrably does not when it is disabled.
+func TestFaultMatrixDegradationProperty(t *testing.T) {
+	r, err := FaultMatrix(FaultMatrixOptions{
+		Rates: []float64{0, 0.10},
+		Exec:  Exec{Jobs: 4},
+	}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, ok := r.Cell(0.10, true)
+	if !ok {
+		t.Fatal("degraded 10% cell missing")
+	}
+	plain, ok := r.Cell(0.10, false)
+	if !ok {
+		t.Fatal("plain 10% cell missing")
+	}
+	if degraded.Injected == 0 || plain.Injected == 0 {
+		t.Fatalf("fault injection inert: injected %d/%d events", plain.Injected, degraded.Injected)
+	}
+	if degraded.Error > 0.05 {
+		t.Errorf("degraded attribution error %.1f%% exceeds 5%% under 10%% dropout", 100*degraded.Error)
+	}
+	if plain.Error <= 0.05 {
+		t.Errorf("ablation inert: error without degradation is only %.1f%%", 100*plain.Error)
+	}
+	if degraded.Rejects == 0 {
+		t.Error("robust recalibrator rejected no pairs under faults")
+	}
+	// The baseline cells define the error metric; they must be exact.
+	for _, deg := range []bool{false, true} {
+		if c, ok := r.Cell(0, deg); !ok || c.Error != 0 {
+			t.Errorf("fault-free cell (degraded=%v) error %.3f, want 0", deg, c.Error)
+		}
+	}
+}

@@ -48,6 +48,19 @@ func TestParallelMatchesSerial(t *testing.T) {
 			}
 			return r.Render(), nil
 		}},
+		// A faulted plan: injected fault streams, robust rejection, and
+		// the reduction against the fault-free baseline must all replay
+		// identically regardless of worker count.
+		{"faultmatrix", func(jobs int) (string, error) {
+			r, err := FaultMatrix(FaultMatrixOptions{
+				Rates: []float64{0, 0.10, 0.20},
+				Exec:  Exec{Jobs: jobs},
+			}, 7)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 	}
 	for _, tc := range cases {
 		tc := tc

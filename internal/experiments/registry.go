@@ -102,6 +102,10 @@ func Registry() []Experiment {
 			ID: "cluster3", Title: "three-tier heterogeneous cluster distribution (extension of §4.4)",
 			Run: func(ex Exec, seed uint64) (Renderable, error) { return Cluster3Ex(ex, seed) },
 		},
+		{
+			ID: "faultmatrix", Title: "attribution error vs injected meter-fault rate, degradation on/off (robustness extension)",
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return FaultMatrixEx(ex, seed) },
+		},
 	}
 }
 

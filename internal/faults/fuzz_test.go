@@ -1,0 +1,90 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzFaultPlan fuzzes the schedule decoder. Accepted schedules must
+// satisfy the documented invariants — probabilities in range, node windows
+// sorted and non-overlapping with positive width, node indexes unique and
+// ascending — and the canonical String form must reparse to an equal
+// schedule (fixpoint). Rejection is always an error value, never a panic.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add("meter:drop=0.1,spike=0.05,spikemag=8;counter:wrap=5e+07,lostirq=0.01")
+	f.Add("socket:injectloss=0.05,sendloss=0.01;node0:fail@0-1000;node3:fail@5-6,fail@7-9")
+	f.Add("meter:;counter:;node0:")
+	f.Add("")
+	f.Add("node0:fail@0-10,fail@5-20")  // overlap: must reject
+	f.Add("node0:fail@20-30,fail@0-10") // unordered: must reject
+	f.Add("meter:drop=0.5,spike=0.6")   // partition sum > 1: must reject
+	f.Add("meter:drop=1e309")           // inf: must reject
+	f.Add("node-1:fail@0-1")            // negative node: must reject
+	f.Add("node0:fail@-5-10")           // negative time: must reject
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			return
+		}
+		check := func(sc *Schedule, which string) {
+			probs := map[string]float64{}
+			if m := sc.Meter; m != nil {
+				probs["drop"] = m.DropoutP
+				probs["spike"] = m.SpikeP
+				probs["stuck"] = m.StuckP
+				probs["jitter"] = m.JitterP
+				if m.DropoutP+m.SpikeP+m.StuckP > 1 {
+					t.Fatalf("%s: accepted partition sum > 1: %+v", which, m)
+				}
+				if m.JitterMax < 0 || m.DeathAt < 0 || m.SpikeMag < 0 {
+					t.Fatalf("%s: accepted negative meter magnitude: %+v", which, m)
+				}
+			}
+			if c := sc.Counter; c != nil {
+				probs["lostirq"] = c.LostInterruptP
+				if c.WrapEvery < 0 {
+					t.Fatalf("%s: accepted negative wrap modulus", which)
+				}
+			}
+			if sk := sc.Socket; sk != nil {
+				probs["injectloss"] = sk.InjectTagLossP
+				probs["sendloss"] = sk.SendTagLossP
+			}
+			for k, p := range probs {
+				if !(p >= 0 && p <= 1) {
+					t.Fatalf("%s: accepted %s=%v outside [0,1]", which, k, p)
+				}
+			}
+			lastNode := -1
+			for _, nf := range sc.Nodes {
+				if nf.Node <= lastNode {
+					t.Fatalf("%s: node indexes not unique/ascending: %+v", which, sc.Nodes)
+				}
+				lastNode = nf.Node
+				for i, w := range nf.Windows {
+					if w.From < 0 || w.To <= w.From {
+						t.Fatalf("%s: node%d accepted bad window %+v", which, nf.Node, w)
+					}
+					if i > 0 && w.From < nf.Windows[i-1].To {
+						t.Fatalf("%s: node%d accepted overlapping windows %+v", which, nf.Node, nf.Windows)
+					}
+				}
+			}
+		}
+		check(s, "first parse")
+		canon := s.String()
+		re, err := ParseSchedule(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q rejected: %v", canon, spec, err)
+		}
+		check(re, "reparse")
+		if !reflect.DeepEqual(s, re) {
+			t.Fatalf("canonical round trip diverged for %q:\n  %+v\n  %+v", spec, s, re)
+		}
+		if re.String() != canon {
+			t.Fatalf("String not a fixpoint: %q vs %q", canon, re.String())
+		}
+		// Deriving a plan from any accepted schedule must be safe.
+		_ = s.Plan(1)
+	})
+}

@@ -28,6 +28,11 @@ type Kernel struct {
 	// paths then pay only a nil check.
 	Audit AuditSink
 
+	// Faults, when non-nil, injects counter corruption, lost overflow
+	// interrupts, and socket-tag loss (internal/faults). Nil — the
+	// default — injects nothing.
+	Faults FaultSurface
+
 	// PerSegmentTagging selects the paper's safe per-segment socket
 	// context tagging (true, the default) or the naive single-tag-per-
 	// socket scheme it warns against (false; ablation only).
@@ -101,6 +106,26 @@ func (k *Kernel) Now() sim.Time { return k.Eng.Now() }
 // Tasks returns every task ever created, in PID order.
 func (k *Kernel) Tasks() []*Task { return k.tasks }
 
+// ReadCounters returns the cumulative counters of a core as the monitoring
+// facility observes them: the raw hardware values, routed through the fault
+// surface (which may wrap them like a narrow MSR) when one is installed.
+func (k *Kernel) ReadCounters(core int) cpu.Counters {
+	raw := k.Cores[core].Counters()
+	if k.Faults != nil {
+		return k.Faults.WrapCounters(core, raw)
+	}
+	return raw
+}
+
+// CounterWrapModulus reports the fault surface's counter wraparound
+// modulus, or 0 when counters are delivered unwrapped.
+func (k *Kernel) CounterWrapModulus() float64 {
+	if k.Faults != nil {
+		return k.Faults.WrapModulus()
+	}
+	return 0
+}
+
 // CoreIdle reports whether the OS is currently scheduling the idle task on
 // the given core — the check Eq. 3 uses to treat stale sibling samples as
 // zero activity.
@@ -149,6 +174,9 @@ func (k *Kernel) newTask(name string, prog Program, ctx Context, parent *Task) *
 // cross-machine hop) to a listener, tagged with the given context and
 // carrying an opaque payload.
 func (k *Kernel) Inject(l *Listener, bytes int, ctx Context, payload any) {
+	if k.Faults != nil && k.Faults.DropInjectTag(k.Now()) {
+		ctx = loseTag(ctx)
+	}
 	if len(l.waiting) > 0 {
 		w := l.waiting[0]
 		l.waiting = l.waiting[1:]
@@ -340,7 +368,11 @@ func (k *Kernel) onSegmentEnd(c int) {
 		t.remCycles -= ev.Cycles
 	}
 	if core.Overflowed() {
-		k.Monitor.OnInterrupt(core, t)
+		// Overflowed() self-resets the latch; it must be consumed even
+		// when the fault surface drops the interrupt delivery itself.
+		if k.Faults == nil || !k.Faults.DropInterrupt(c, now) {
+			k.Monitor.OnInterrupt(core, t)
+		}
 	}
 	if t.remCycles <= 0.5 {
 		t.computing = false
@@ -487,8 +519,15 @@ func (k *Kernel) applyBinding(t *Task, ctx Context) {
 
 // send appends a tagged segment, waking a blocked receiver directly.
 func (k *Kernel) send(t *Task, e *Endpoint, bytes int, payload any) {
+	ctx := t.Ctx
+	if k.Faults != nil && k.Faults.DropSendTag(k.Now()) {
+		// The tag is lost before the segment enters the buffer, so the
+		// audit stream sees the untagged segment consistently at both
+		// enqueue and deliver.
+		ctx = loseTag(ctx)
+	}
 	buf := e.sendBuf()
-	buf.lastCtx = t.Ctx
+	buf.lastCtx = ctx
 	if len(buf.waiting) > 0 {
 		w := buf.waiting[0]
 		buf.waiting = buf.waiting[1:]
@@ -496,17 +535,17 @@ func (k *Kernel) send(t *Task, e *Endpoint, bytes int, payload any) {
 		w.LastRecv = payload
 		if k.Audit != nil {
 			seq := k.nextSegSeq()
-			k.Audit.OnSockEnqueue(buf, seq, bytes, t.Ctx)
-			k.Audit.OnSockDeliver(buf, seq, bytes, t.Ctx)
+			k.Audit.OnSockEnqueue(buf, seq, bytes, ctx)
+			k.Audit.OnSockDeliver(buf, seq, bytes, ctx)
 		}
-		k.applyBinding(w, t.Ctx)
+		k.applyBinding(w, ctx)
 		k.wake(w)
 		return
 	}
-	seg := segment{bytes: bytes, ctx: t.Ctx, payload: payload}
+	seg := segment{bytes: bytes, ctx: ctx, payload: payload}
 	if k.Audit != nil {
 		seg.seq = k.nextSegSeq()
-		k.Audit.OnSockEnqueue(buf, seg.seq, bytes, t.Ctx)
+		k.Audit.OnSockEnqueue(buf, seg.seq, bytes, ctx)
 	}
 	buf.segs = append(buf.segs, seg)
 }

@@ -61,6 +61,28 @@ type AuditSink interface {
 	OnSockDeliver(buf any, seq uint64, bytes int, ctx Context)
 }
 
+// FaultSurface is the kernel-side fault-injection seam (implemented by
+// internal/faults without a package cycle: only cpu/sim types cross it).
+// A nil surface — the default — injects nothing; the hot paths then pay
+// only a nil check, exactly like the audit sinks.
+type FaultSurface interface {
+	// WrapCounters corrupts a raw cumulative counter read for the given
+	// core, e.g. reducing it modulo a narrow-MSR wraparound modulus.
+	WrapCounters(coreID int, raw cpu.Counters) cpu.Counters
+	// WrapModulus reports the wraparound modulus WrapCounters applies,
+	// so monitors can unwrap deltas; 0 means counters are not wrapped.
+	WrapModulus() float64
+	// DropInterrupt reports whether this overflow-interrupt delivery is
+	// lost. The kernel still clears the overflow latch either way — the
+	// hardware condition resets; only the notification is dropped.
+	DropInterrupt(coreID int, now sim.Time) bool
+	// DropInjectTag reports whether an externally injected segment loses
+	// its container tag at the listener boundary.
+	DropInjectTag(now sim.Time) bool
+	// DropSendTag reports whether an in-flight send loses its tag.
+	DropSendTag(now sim.Time) bool
+}
+
 // NopMonitor ignores every event.
 type NopMonitor struct{}
 

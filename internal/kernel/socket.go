@@ -9,6 +9,14 @@ package kernel
 // the receiver inherit the wrong context. The kernel supports the naive
 // scheme too (PerSegmentTagging=false) as an ablation.
 
+// loseTag strips a segment's container tag, modelling the fault where the
+// tagging path misses a transfer (a lost hook, a truncated header). The
+// untagged segment flows like any other — its receiver simply binds to the
+// background context, exactly as the paper's facility would account an
+// untagged kernel path. Kept here so the socket layer owns what "no tag"
+// means; injection decisions live behind kernel.FaultSurface.
+func loseTag(Context) Context { return nil }
+
 // segment is one buffered message.
 type segment struct {
 	bytes   int

@@ -150,8 +150,20 @@ func (m *ChipMeter) Read(now sim.Time) []Sample {
 func (m *ChipMeter) ReadSince(now sim.Time, skip int) []Sample {
 	m.rec.FlushUntil(now)
 	series := m.rec.PkgActiveSeries()
+	// Clamp skip to [0, delivered]: bucket b is delivered iff
+	// (b+1)·interval + delay ≤ now, so `avail` below is exactly
+	// len(Read(now)). An oversized cursor (one that outran a truncated or
+	// faulted history) must yield an empty tail — and must be clamped
+	// before the scan loop, where sim.Time(b)*RecorderInterval would
+	// overflow for huge skips.
 	if skip < 0 {
 		skip = 0
+	}
+	if avail := int((now - m.delay) / RecorderInterval); skip > avail {
+		if avail < 0 {
+			avail = 0
+		}
+		skip = avail
 	}
 	var out []Sample
 	if n := int((now-m.delay)/RecorderInterval) - skip; n > 0 {
@@ -213,8 +225,17 @@ func (m *WattsupMeter) ReadSince(now sim.Time, skip int) []Sample {
 	pkg := m.rec.PkgActiveSeries()
 	dev := m.rec.DeviceSeries()
 	perWindow := int(sim.Second / RecorderInterval)
+	// Same clamp as ChipMeter.ReadSince: window w is delivered iff
+	// (w+1)·second + delay ≤ now, so skip is bounded by the delivered
+	// count before the scan loop can overflow on sim.Time(w)*sim.Second.
 	if skip < 0 {
 		skip = 0
+	}
+	if avail := int((now - m.delay) / sim.Second); skip > avail {
+		if avail < 0 {
+			avail = 0
+		}
+		skip = avail
 	}
 	var out []Sample
 	if n := int((now-m.delay)/sim.Second) - skip; n > 0 {

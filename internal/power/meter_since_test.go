@@ -1,0 +1,65 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/sim"
+)
+
+// TestReadSinceClampsSkip pins the SinceReader cursor contract under
+// out-of-range cursors: ReadSince(now, skip) must equal Read(now)[skip:]
+// for in-range skips and degrade to an empty tail — never a panic or an
+// int64 overflow in the bucket arithmetic — when the cursor outruns the
+// delivered history.
+func TestReadSinceClampsSkip(t *testing.T) {
+	spec := cpu.SandyBridge
+	rec := NewRecorder(spec, MustProfile(spec))
+	rec.SetChipBusyCores(0, 1, 0)
+	rec.AddCoreSegment(0, 3*sim.Second, cpu.Activity{IPC: 1}, 1.0)
+	rec.SetChipBusyCores(0, 0, 3*sim.Second)
+
+	meters := []struct {
+		name string
+		m    interface {
+			Meter
+			SinceReader
+		}
+	}{
+		{"chip", NewChipMeter(rec, 11)},
+		{"wattsup", NewWattsupMeter(rec, 12)},
+	}
+	for _, tc := range meters {
+		t.Run(tc.name, func(t *testing.T) {
+			now := 3 * sim.Second
+			all := tc.m.Read(now)
+			if len(all) == 0 {
+				t.Fatalf("no samples delivered by %s", tc.name)
+			}
+			mid := len(all) / 2
+			got := tc.m.ReadSince(now, mid)
+			if len(got) != len(all)-mid {
+				t.Fatalf("mid skip: got %d samples, want %d", len(got), len(all)-mid)
+			}
+			for i := range got {
+				if got[i] != all[mid+i] {
+					t.Fatalf("mid skip sample %d = %+v, want %+v", i, got[i], all[mid+i])
+				}
+			}
+			for _, skip := range []int{len(all), len(all) + 1, len(all) + 1000, math.MaxInt64 / 2, math.MaxInt64} {
+				if out := tc.m.ReadSince(now, skip); len(out) != 0 {
+					t.Fatalf("skip %d beyond history returned %d samples", skip, len(out))
+				}
+			}
+			if out := tc.m.ReadSince(now, -5); len(out) != len(all) {
+				t.Fatalf("negative skip: got %d samples, want %d", len(out), len(all))
+			}
+			// A cursor beyond history at an early time must not panic
+			// either when now precedes the meter delay entirely.
+			if out := tc.m.ReadSince(tc.m.Delay()/2, math.MaxInt64); len(out) != 0 {
+				t.Fatalf("pre-delivery oversized skip returned %d samples", len(out))
+			}
+		})
+	}
+}
