@@ -1,0 +1,188 @@
+// Command pcstream runs the streaming attribution engine over a
+// simulated machine and prints the per-container power/energy record
+// stream in its canonical line encoding — the online counterpart of
+// pcbench's batch experiments.
+//
+// Usage:
+//
+//	pcstream [-machine M] [-workload W] [-load F] [-attribution A]
+//	         [-duration S] [-tick MS] [-seed N]
+//	         [-checkpoint FILE] [-checkpoint-every N]
+//	pcstream -resume FILE [same machine/workload/seed flags] ...
+//
+// The stream is deterministic: the same flags produce the byte-identical
+// stream. -checkpoint writes the engine's latest checkpoint to FILE;
+// -resume rebuilds the identically configured machine, replays quietly to
+// the checkpoint, verifies the state matches, and continues the stream
+// from the cut — emitting exactly the records the uninterrupted run would
+// have emitted after it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/experiments"
+	"powercontainers/internal/model"
+	"powercontainers/internal/power"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/stream"
+	"powercontainers/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "pcstream:", err)
+		os.Exit(1)
+	}
+}
+
+// lineSink writes each record's canonical line encoding to a writer.
+type lineSink struct {
+	w       *bufio.Writer
+	scratch []byte
+	err     error
+}
+
+func (s *lineSink) OnRecord(r stream.Record) {
+	s.scratch = stream.AppendRecord(s.scratch[:0], r)
+	if _, err := s.w.Write(s.scratch); err != nil && s.err == nil {
+		s.err = err
+	}
+}
+
+// pickWorkload resolves a -workload flag value.
+func pickWorkload(name string) (workload.Workload, error) {
+	for _, wl := range []workload.Workload{
+		workload.Stress{}, workload.GAE{}, workload.WeBWorK{},
+		workload.EventServer{}, workload.Solr{}, workload.RSA{},
+	} {
+		if strings.EqualFold(wl.Name(), name) {
+			return wl, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// pickApproach resolves an -attribution flag value.
+func pickApproach(name string) (core.Approach, error) {
+	for _, ap := range experiments.Approaches() {
+		if ap.String() == name {
+			return ap, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown attribution approach %q (want core-only, chip-share, or recalibrated)", name)
+}
+
+// pickMachine resolves a -machine flag value.
+func pickMachine(name string) (cpu.MachineSpec, error) {
+	for _, spec := range cpu.Specs() {
+		if strings.EqualFold(spec.Name, name) {
+			return spec, nil
+		}
+	}
+	return cpu.MachineSpec{}, fmt.Errorf("unknown machine %q", name)
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcstream", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	machine := fs.String("machine", "SandyBridge", "machine spec name")
+	wlName := fs.String("workload", "Stress", "workload name")
+	load := fs.Float64("load", 0.5, "open-loop arrival rate as a fraction of peak")
+	attribution := fs.String("attribution", "recalibrated", "attribution approach: core-only, chip-share, recalibrated")
+	durationS := fs.Float64("duration", 10, "virtual seconds to stream")
+	tickMS := fs.Int64("tick", 100, "streaming tick in virtual milliseconds")
+	seed := fs.Uint64("seed", 1, "simulation seed (identical seeds reproduce identical streams)")
+	cpPath := fs.String("checkpoint", "", "write the latest checkpoint JSON to this file")
+	cpEvery := fs.Int("checkpoint-every", 0, "take an automatic checkpoint every N ticks (0 = only at the end)")
+	resume := fs.String("resume", "", "resume from a checkpoint file written by -checkpoint (requires identical machine/workload/seed flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+	if *durationS <= 0 || *tickMS <= 0 {
+		return fmt.Errorf("duration and tick must be positive")
+	}
+	spec, err := pickMachine(*machine)
+	if err != nil {
+		return err
+	}
+	wl, err := pickWorkload(*wlName)
+	if err != nil {
+		return err
+	}
+	ap, err := pickApproach(*attribution)
+	if err != nil {
+		return err
+	}
+
+	m, err := experiments.NewMachine(spec, ap, *seed)
+	if err != nil {
+		return err
+	}
+	horizon := sim.Time(*durationS * float64(sim.Second))
+	dep := wl.Deploy(m.K, m.Rng.Fork(11))
+	gen := server.NewLoadGen(m.K, m.Fac, dep)
+	gen.RunOpenLoop(*load*experiments.PeakRate(m.K.Spec, dep), horizon, m.Rng.Fork(13))
+
+	var meter power.Meter
+	scope := model.ScopeMachine
+	if r := m.Fac.Recalibrator(); r != nil {
+		meter, scope = r.Meter, r.Scope
+	} else {
+		meter, scope = m.Chip, model.ScopePackage
+	}
+	src := stream.Sources{Eng: m.Eng, Fac: m.Fac, Meter: meter, Scope: scope}
+	cfg := stream.Config{Tick: sim.Time(*tickMS) * sim.Millisecond, CheckpointEvery: *cpEvery}
+
+	var e *stream.Engine
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			return err
+		}
+		cp, err := stream.DecodeCheckpoint(data)
+		if err != nil {
+			return err
+		}
+		if e, err = stream.ReplayTo(src, cfg, cp); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "resumed at tick %d (t=%s) from %s\n", e.Tick(), sim.FormatTime(e.Now()), *resume)
+	} else {
+		e = stream.New(src, cfg)
+	}
+
+	out := bufio.NewWriter(stdout)
+	sink := &lineSink{w: out}
+	hasher := stream.NewHasher()
+	e.Sink = stream.Tee{sink, hasher}
+	e.RunUntil(horizon)
+	if err := out.Flush(); err != nil {
+		return err
+	}
+	if sink.err != nil {
+		return sink.err
+	}
+
+	if *cpPath != "" {
+		cp := e.Checkpoint()
+		if err := os.WriteFile(*cpPath, stream.EncodeCheckpoint(cp), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "checkpoint at tick %d written to %s\n", cp.Tick, *cpPath)
+	}
+	fmt.Fprintf(stderr, "streamed %d ticks, %d records, %s J attributed, stream sha256 %s\n",
+		e.Tick(), hasher.Count(), fmt.Sprintf("%.3f", e.CumAttributedJ()), hasher.Sum())
+	return nil
+}

@@ -139,17 +139,8 @@ func (r *Recalibrator) Fallbacks() int { return r.fallbacks }
 // implement power.SinceReader skip rematerializing the already-consumed
 // prefix — without it, every Ingest re-derives all samples since time zero.
 func (r *Recalibrator) readFresh(now sim.Time) []power.Sample {
-	if sr, ok := r.Meter.(power.SinceReader); ok {
-		fresh := sr.ReadSince(now, r.seen)
-		r.seen += len(fresh)
-		return fresh
-	}
-	all := r.Meter.Read(now)
-	if len(all) <= r.seen {
-		return nil
-	}
-	fresh := all[r.seen:]
-	r.seen = len(all)
+	fresh, seen := power.ReadFresh(r.Meter, now, r.seen)
+	r.seen = seen
 	return fresh
 }
 

@@ -16,7 +16,7 @@ import (
 
 var (
 	scopeExact = []string{"powercontainers"}
-	scopeLast  = []string{"experiments", "export", "stats", "trace"}
+	scopeLast  = []string{"experiments", "export", "stats", "stream", "trace"}
 )
 
 var Analyzer = &analysis.Analyzer{

@@ -130,6 +130,10 @@ type Auditor struct {
 	recalFallbacks int
 	faultEvents    int
 
+	// streaming bookkeeping
+	checkpoints     int
+	checkpointBytes int
+
 	// cluster ledger per-request lifecycle
 	reqs map[uint64]*reqState
 

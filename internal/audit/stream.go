@@ -1,0 +1,35 @@
+package audit
+
+import (
+	"powercontainers/internal/sim"
+	"powercontainers/internal/stream"
+)
+
+// The auditor plugs into the streaming engine's audit seam: checkpoint
+// events are counted and stream-level invariant breaches (the engine's
+// online conservation ledger) land in the same violation log as every
+// other audited property.
+var _ stream.AuditSink = (*Auditor)(nil)
+
+// OnCheckpoint implements stream.AuditSink. Checkpoints are bookkept, not
+// judged: an empty encoding is impossible by construction (the engine
+// encodes the checkpoint to measure it), so there is nothing to verify
+// beyond counting.
+func (a *Auditor) OnCheckpoint(tick int, t sim.Time, encodedBytes int) {
+	a.checkpoints++
+	a.checkpointBytes = encodedBytes
+}
+
+// OnStreamViolation implements stream.AuditSink: the streaming engine's
+// own invariant checks report through the standard violation log, so a
+// streamed run fails Err() exactly like a batch run would.
+func (a *Auditor) OnStreamViolation(check string, t sim.Time, detail string) {
+	a.report(check, t, "%s", detail)
+}
+
+// Checkpoints returns how many stream checkpoints the engine reported.
+func (a *Auditor) Checkpoints() int { return a.checkpoints }
+
+// LastCheckpointBytes returns the encoded size of the most recent stream
+// checkpoint (0 before the first).
+func (a *Auditor) LastCheckpointBytes() int { return a.checkpointBytes }

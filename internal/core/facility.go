@@ -180,6 +180,15 @@ func (f *Facility) Containers() []*Container {
 	return append([]*Container(nil), f.containers...)
 }
 
+// NumContainers returns how many containers have ever been created. With
+// ContainerAt it lets an incremental consumer (the streaming engine) scan
+// only containers born since its last visit instead of copying the whole
+// ever-growing list every period.
+func (f *Facility) NumContainers() int { return len(f.containers) }
+
+// ContainerAt returns the i-th container in creation order.
+func (f *Facility) ContainerAt(i int) *Container { return f.containers[i] }
+
 // NewContainer creates a request container; the harness binds it to the
 // request's first message via kernel.Inject.
 func (f *Facility) NewContainer(label string) *Container {

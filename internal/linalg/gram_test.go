@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 )
@@ -185,5 +186,61 @@ func TestGramCloneIndependence(t *testing.T) {
 func TestGramEmptySolve(t *testing.T) {
 	if _, err := NewGram(3).Solve(); err == nil {
 		t.Fatal("Solve on empty Gram succeeded")
+	}
+}
+
+func TestGramStateRoundTripPreservesResidue(t *testing.T) {
+	rng := &splitmix{state: 41}
+	g := NewGram(3)
+	rows := make([][]float64, 40)
+	for i := range rows {
+		rows[i] = []float64{1, rng.float(), rng.float()}
+		g.Add(rows[i], 3*rng.float(), 1)
+	}
+	// Introduce Remove residue so the snapshot differs from a clean rebuild.
+	for _, r := range rows[:17] {
+		if err := g.Remove(r, 0.5, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	enc, err := json.Marshal(g.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st GramState
+	if err := json.Unmarshal(enc, &st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := GramFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != g.K() || back.N() != g.N() {
+		t.Fatalf("restored k/n = %d/%d, want %d/%d", back.K(), back.N(), g.K(), g.N())
+	}
+	a, errA := g.Solve()
+	b, errB := back.Solve()
+	if errA != nil || errB != nil {
+		t.Fatalf("solve errors: %v, %v", errA, errB)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("coef %d: restored %v, want %v (bit-exact)", i, b[i], a[i])
+		}
+	}
+}
+
+func TestGramFromStateRejectsBadState(t *testing.T) {
+	bad := []GramState{
+		{K: 0},
+		{K: 2, N: -1, XtY: []float64{0, 0}, XtX: [][]float64{{0, 0}, {0}}},
+		{K: 2, XtY: []float64{0}, XtX: [][]float64{{0, 0}, {0}}},
+		{K: 2, XtY: []float64{0, 0}, XtX: [][]float64{{0, 0}}},
+		{K: 2, XtY: []float64{0, 0}, XtX: [][]float64{{0}, {0}}},
+	}
+	for i, st := range bad {
+		if _, err := GramFromState(st); err == nil {
+			t.Fatalf("bad state %d accepted", i)
+		}
 	}
 }

@@ -42,6 +42,24 @@ func (s Scope) String() string {
 	return "machine"
 }
 
+// ReadFresh returns the meter samples a cursor-tracking consumer has not
+// yet seen — Read(now)[seen:] — along with the advanced cursor. Meters
+// implementing SinceReader skip rematerializing the already-consumed
+// prefix, so a long-running consumer's per-pull cost is proportional to
+// the fresh tail, not the full history. The recalibrator and the
+// streaming engine both sit on this helper.
+func ReadFresh(m Meter, now sim.Time, seen int) ([]Sample, int) {
+	if sr, ok := m.(SinceReader); ok {
+		fresh := sr.ReadSince(now, seen)
+		return fresh, seen + len(fresh)
+	}
+	all := m.Read(now)
+	if len(all) <= seen {
+		return nil, seen
+	}
+	return all[seen:], len(all)
+}
+
 // Sample is one delivered meter reading.
 type Sample struct {
 	// Start is the true beginning of the measurement window. It is

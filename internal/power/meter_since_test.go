@@ -63,3 +63,48 @@ func TestReadSinceClampsSkip(t *testing.T) {
 		})
 	}
 }
+
+// plainMeter hides the SinceReader implementation so ReadFresh exercises
+// its full-read fallback path.
+type plainMeter struct{ Meter }
+
+// TestReadFreshCursor pins the shared cursor helper: fresh tails across
+// consecutive pulls must concatenate to Read(now), for SinceReader meters
+// and for the full-read fallback alike.
+func TestReadFreshCursor(t *testing.T) {
+	spec := cpu.SandyBridge
+	rec := NewRecorder(spec, MustProfile(spec))
+	rec.SetChipBusyCores(0, 1, 0)
+	rec.AddCoreSegment(0, 3*sim.Second, cpu.Activity{IPC: 1}, 1.0)
+	rec.SetChipBusyCores(0, 0, 3*sim.Second)
+
+	for _, tc := range []struct {
+		name string
+		m    Meter
+	}{
+		{"since-reader", NewChipMeter(rec, 11)},
+		{"fallback", plainMeter{NewChipMeter(rec, 11)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var got []Sample
+			seen := 0
+			for _, now := range []sim.Time{sim.Second, sim.Second, 2 * sim.Second, 3 * sim.Second} {
+				var fresh []Sample
+				fresh, seen = ReadFresh(tc.m, now, seen)
+				got = append(got, fresh...)
+				if seen != len(got) {
+					t.Fatalf("cursor %d after %d consumed samples", seen, len(got))
+				}
+			}
+			want := tc.m.Read(3 * sim.Second)
+			if len(got) != len(want) {
+				t.Fatalf("consumed %d samples across pulls, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sample %d = %+v, want %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

@@ -178,6 +178,17 @@ func (e *Engine) Cancel(h Handle) {
 // Pending returns the number of events waiting to run.
 func (e *Engine) Pending() int { return len(e.heap) }
 
+// NextEventAt peeks at the earliest pending event's time without running
+// it. It reports false when no event is pending. Streaming consumers use
+// it to tell a drained simulation (nothing left but clock advancement)
+// from one with work still scheduled.
+func (e *Engine) NextEventAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
 // Step runs the next event, if any, advancing the clock to its time.
 // It reports whether an event ran.
 func (e *Engine) Step() bool {

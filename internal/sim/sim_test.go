@@ -251,3 +251,23 @@ func TestRandForkIndependence(t *testing.T) {
 		t.Fatalf("forked streams matched %d/1000 draws", same)
 	}
 }
+
+func TestNextEventAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	e.At(30, func() {})
+	e.At(10, func() {})
+	if at, ok := e.NextEventAt(); !ok || at != 10 {
+		t.Fatalf("NextEventAt = %v, %v; want 10, true", at, ok)
+	}
+	e.RunUntil(10)
+	if at, ok := e.NextEventAt(); !ok || at != 30 {
+		t.Fatalf("NextEventAt after run = %v, %v; want 30, true", at, ok)
+	}
+	e.RunUntil(30)
+	if _, ok := e.NextEventAt(); ok {
+		t.Fatal("drained engine reported a pending event")
+	}
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"fmt"
+
+	"powercontainers/internal/sim"
+)
+
+// Ring is a bounded-memory companion to Series for long-running streaming
+// consumers: a fixed-capacity window over a conceptually unbounded
+// fixed-interval grid of float64 slots, addressed by absolute slot index.
+// Slots are appended in order; once the window is full the oldest slot is
+// evicted into a running prefix sum. Eviction folds values into the sum in
+// strict append order, so Total() reproduces the exact sequential
+// summation a batch consumer would compute over the full history —
+// bit-identical, independent of capacity.
+//
+// Unlike Series (which accumulates and can reach back arbitrarily far),
+// a Ring only accepts writes within its retained window: Set on an
+// evicted slot reports failure and the write is dropped. Capacity zero is
+// legal and retains nothing (every Append evicts immediately).
+type Ring struct {
+	interval sim.Time
+	buf      []float64 // circular storage, len == capacity
+	start    int       // buf index of slot lo
+	lo, hi   int       // retained window is absolute slots [lo, hi)
+	evicted  float64   // sequential prefix sum of slots [0, lo)
+}
+
+// NewRing returns a ring over an interval grid with the given capacity in
+// slots. Capacity may be zero; the interval must be positive.
+func NewRing(interval sim.Time, capacity int) *Ring {
+	if interval <= 0 {
+		panic("stats: non-positive ring interval")
+	}
+	if capacity < 0 {
+		panic("stats: negative ring capacity")
+	}
+	return &Ring{interval: interval, buf: make([]float64, capacity)}
+}
+
+// Interval returns the slot width on the time grid.
+func (r *Ring) Interval() sim.Time { return r.interval }
+
+// Cap returns the window capacity in slots.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len returns the total number of slots ever appended (the next absolute
+// index), not the retained count.
+func (r *Ring) Len() int { return r.hi }
+
+// Lo returns the first retained absolute slot index; slots below it have
+// been evicted into the prefix sum.
+func (r *Ring) Lo() int { return r.lo }
+
+// Retained returns the number of slots currently held in the window.
+func (r *Ring) Retained() int { return r.hi - r.lo }
+
+// slot maps an absolute index in [lo, hi) to a buf position.
+func (r *Ring) slot(i int) int {
+	p := r.start + (i - r.lo)
+	if p >= len(r.buf) {
+		p -= len(r.buf)
+	}
+	return p
+}
+
+// Append adds the next slot's value, evicting the oldest retained slot
+// into the prefix sum if the window is full. It returns the absolute
+// index of the appended slot.
+func (r *Ring) Append(v float64) int {
+	if r.hi-r.lo == len(r.buf) {
+		if len(r.buf) == 0 {
+			// Zero capacity: the value is evicted immediately.
+			r.evicted += v
+			r.lo++
+			r.hi++
+			return r.hi - 1
+		}
+		r.evicted += r.buf[r.start]
+		r.start++
+		if r.start == len(r.buf) {
+			r.start = 0
+		}
+		r.lo++
+	}
+	r.buf[r.slot(r.hi)] = v
+	r.hi++
+	return r.hi - 1
+}
+
+// At returns the value of absolute slot i and whether it is retained.
+func (r *Ring) At(i int) (float64, bool) {
+	if i < r.lo || i >= r.hi {
+		return 0, false
+	}
+	return r.buf[r.slot(i)], true
+}
+
+// Set overwrites retained slot i, reporting whether the write landed.
+// Writes below the window (already evicted) or at/above hi are dropped.
+func (r *Ring) Set(i int, v float64) bool {
+	if i < r.lo || i >= r.hi {
+		return false
+	}
+	r.buf[r.slot(i)] = v
+	return true
+}
+
+// ReadSince returns a copy of the retained slots with absolute index ≥
+// skip, linearized across the internal wrap seam, along with the absolute
+// index of the first returned slot (max(skip, Lo())). It mirrors
+// power.SinceReader semantics: a cursor-tracking consumer passes the
+// count it has already seen and receives only the fresh tail.
+func (r *Ring) ReadSince(skip int) ([]float64, int) {
+	from := skip
+	if from < r.lo {
+		from = r.lo
+	}
+	if from >= r.hi {
+		return nil, from
+	}
+	out := make([]float64, r.hi-from)
+	for i := range out {
+		out[i] = r.buf[r.slot(from+i)]
+	}
+	return out, from
+}
+
+// EvictedSum returns the sequential prefix sum of all evicted slots.
+func (r *Ring) EvictedSum() float64 { return r.evicted }
+
+// Total returns the sum of every slot ever appended, computed as the
+// evicted prefix sum plus the retained slots in append order — the same
+// left-to-right summation order a batch consumer of the full history
+// would use, so the result is bit-identical regardless of capacity or of
+// how many slots have been evicted (as long as retained slots were not
+// rewritten with Set).
+func (r *Ring) Total() float64 {
+	sum := r.evicted
+	for i := r.lo; i < r.hi; i++ {
+		sum += r.buf[r.slot(i)]
+	}
+	return sum
+}
+
+// RingState is the serializable snapshot of a Ring, used by streaming
+// checkpoints. Values holds the retained window linearized in append
+// order. JSON round-trips float64 exactly (shortest round-trip encoding),
+// so Restore(State()) reproduces the ring bit-for-bit.
+type RingState struct {
+	Interval sim.Time  `json:"interval"`
+	Cap      int       `json:"cap"`
+	Lo       int       `json:"lo"`
+	Hi       int       `json:"hi"`
+	Evicted  float64   `json:"evicted"`
+	Values   []float64 `json:"values"`
+}
+
+// State captures the ring's current contents.
+func (r *Ring) State() RingState {
+	vals, _ := r.ReadSince(r.lo)
+	return RingState{Interval: r.interval, Cap: len(r.buf), Lo: r.lo, Hi: r.hi, Evicted: r.evicted, Values: vals}
+}
+
+// RestoreRing reconstructs a ring from a snapshot. The linearized window
+// is laid out from buf position 0; ReadSince, At, Total and State are
+// seam-position-independent, so a restored ring is observationally
+// identical to the one snapshotted.
+func RestoreRing(st RingState) (*Ring, error) {
+	if st.Interval <= 0 || st.Cap < 0 || st.Lo < 0 || st.Hi < st.Lo {
+		return nil, fmt.Errorf("stats: invalid ring state (interval=%d cap=%d lo=%d hi=%d)", st.Interval, st.Cap, st.Lo, st.Hi)
+	}
+	if st.Hi-st.Lo != len(st.Values) || st.Hi-st.Lo > st.Cap {
+		return nil, fmt.Errorf("stats: ring state window [%d,%d) inconsistent with %d values, cap %d", st.Lo, st.Hi, len(st.Values), st.Cap)
+	}
+	r := NewRing(st.Interval, st.Cap)
+	r.lo, r.hi, r.evicted = st.Lo, st.Hi, st.Evicted
+	copy(r.buf, st.Values)
+	return r, nil
+}

@@ -1,0 +1,230 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"powercontainers/internal/linalg"
+	"powercontainers/internal/model"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/stats"
+)
+
+// CheckpointVersion identifies the checkpoint encoding.
+const CheckpointVersion = 1
+
+// ContainerState is one live container's cursor in a checkpoint.
+type ContainerState struct {
+	ID      int      `json:"id"`
+	LastJ   float64  `json:"last_j"`
+	LastCPU sim.Time `json:"last_cpu"`
+}
+
+// Checkpoint is the engine's complete consumer-side state at a tick
+// boundary. The simulation itself is not serialized: it is deterministic,
+// so a restore rebuilds an identical machine and replays it quietly to
+// the checkpoint time (ReplayTo), then swaps in the decoded consumer
+// state. Every field round-trips exactly through JSON (float64 encodes as
+// shortest-round-trip), so Checkpoint → Encode → Decode → restore →
+// continue produces the byte-identical record stream an uninterrupted run
+// produces — the contract pinned by the checkpoint-replay tests.
+type Checkpoint struct {
+	Version int      `json:"version"`
+	Tick    int      `json:"tick"`
+	T       sim.Time `json:"t"`
+	Records int64    `json:"records"`
+	CumJ    float64  `json:"cum_j"`
+
+	MeterSeen      int              `json:"meter_seen"`
+	ContainersSeen int              `json:"containers_seen"`
+	Live           []ContainerState `json:"live"`
+
+	Measured   *stats.RingState `json:"measured,omitempty"`
+	Attributed stats.RingState  `json:"attributed"`
+	Modeled    stats.RingState  `json:"modeled"`
+
+	MPCoeff model.Coefficients `json:"mp_coeff"`
+	MPValid bool               `json:"mp_valid"`
+
+	Delay      sim.Time           `json:"delay"`
+	DelayKnown bool               `json:"delay_known"`
+	Plan       model.FitPlan      `json:"plan"`
+	PlanKnown  bool               `json:"plan_known"`
+	Pairs      []model.CalSample  `json:"pairs,omitempty"`
+	Evictions  int                `json:"evictions"`
+	EvTotal    int64              `json:"ev_total"`
+	Gram       *linalg.GramState  `json:"gram,omitempty"`
+	Drift      model.Coefficients `json:"drift"`
+	DriftOK    bool               `json:"drift_ok"`
+	DriftErr   float64            `json:"drift_err"`
+}
+
+// Checkpoint captures the engine's consumer state. It is a pure read —
+// taking a checkpoint never perturbs the stream. The Audit sink's
+// OnCheckpoint hook fires with the encoded size.
+func (e *Engine) Checkpoint() *Checkpoint {
+	cp := &Checkpoint{
+		Version:        CheckpointVersion,
+		Tick:           e.tick,
+		T:              e.Now(),
+		Records:        e.records,
+		CumJ:           e.cumJ,
+		MeterSeen:      e.meterSeen,
+		ContainersSeen: e.containersSeen,
+		Attributed:     e.attributed.State(),
+		Modeled:        e.modeled.State(),
+		MPCoeff:        e.mpCoeff,
+		MPValid:        e.mpValid,
+		Delay:          e.delay,
+		DelayKnown:     e.delayKnown,
+		Plan:           e.plan,
+		PlanKnown:      e.planKnown,
+		Evictions:      e.evictions,
+		EvTotal:        e.evTotal,
+		Drift:          e.drift,
+		DriftOK:        e.driftOK,
+		DriftErr:       e.driftErr,
+	}
+	if e.measured != nil {
+		st := e.measured.State()
+		cp.Measured = &st
+	}
+	for _, cc := range e.live {
+		cp.Live = append(cp.Live, ContainerState{ID: cc.c.ID, LastJ: cc.lastJ, LastCPU: cc.lastCPU})
+	}
+	if len(e.pairs) > 0 {
+		cp.Pairs = append([]model.CalSample(nil), e.pairs...)
+	}
+	if e.gram != nil {
+		st := e.gram.State()
+		cp.Gram = &st
+	}
+	if e.Audit != nil {
+		e.Audit.OnCheckpoint(cp.Tick, cp.T, len(EncodeCheckpoint(cp)))
+	}
+	return cp
+}
+
+// EncodeCheckpoint serializes a checkpoint. The encoding is deterministic
+// (fixed field order, shortest-round-trip floats), so equal states encode
+// to equal bytes — which is what lets ReplayTo verify a restore.
+func EncodeCheckpoint(cp *Checkpoint) []byte {
+	out, err := json.Marshal(cp)
+	if err != nil {
+		// Checkpoint contains only JSON-safe field types; Marshal cannot
+		// fail unless a NaN leaks in, which the fold paths exclude.
+		panic(fmt.Sprintf("stream: checkpoint encode: %v", err))
+	}
+	return out
+}
+
+// DecodeCheckpoint parses an encoded checkpoint and validates it.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("stream: checkpoint decode: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("stream: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if cp.Tick < 0 || cp.T < 0 {
+		return nil, fmt.Errorf("stream: checkpoint at negative tick %d (t=%d)", cp.Tick, cp.T)
+	}
+	return &cp, nil
+}
+
+// restore overwrites the engine's consumer state with the checkpoint's.
+// The engine must already sit at the checkpoint tick (ReplayTo arranges
+// this); restore resolves live container IDs against the facility.
+func (e *Engine) restore(cp *Checkpoint) error {
+	if e.tick != cp.Tick {
+		return fmt.Errorf("stream: restore at tick %d, checkpoint at %d", e.tick, cp.Tick)
+	}
+	att, err := stats.RestoreRing(cp.Attributed)
+	if err != nil {
+		return err
+	}
+	mod, err := stats.RestoreRing(cp.Modeled)
+	if err != nil {
+		return err
+	}
+	var meas *stats.Ring
+	if cp.Measured != nil {
+		if meas, err = stats.RestoreRing(*cp.Measured); err != nil {
+			return err
+		}
+	}
+	var gram *linalg.Gram
+	if cp.Gram != nil {
+		if gram, err = linalg.GramFromState(*cp.Gram); err != nil {
+			return err
+		}
+	}
+	// Resolve live container IDs by merge scan: both the checkpoint's
+	// live list and the facility's container list are in creation order.
+	live := make([]*contCursor, 0, len(cp.Live))
+	if cp.ContainersSeen > e.src.Fac.NumContainers() {
+		return fmt.Errorf("stream: checkpoint saw %d containers, facility has %d", cp.ContainersSeen, e.src.Fac.NumContainers())
+	}
+	i := 0
+	for _, st := range cp.Live {
+		for i < cp.ContainersSeen && e.src.Fac.ContainerAt(i).ID != st.ID {
+			i++
+		}
+		if i == cp.ContainersSeen {
+			return fmt.Errorf("stream: checkpoint live container %d not found in facility", st.ID)
+		}
+		live = append(live, &contCursor{c: e.src.Fac.ContainerAt(i), lastJ: st.LastJ, lastCPU: st.LastCPU})
+		i++
+	}
+
+	e.records = cp.Records
+	e.cumJ = cp.CumJ
+	e.meterSeen = cp.MeterSeen
+	e.containersSeen = cp.ContainersSeen
+	e.live = live
+	e.attributed = att
+	e.modeled = mod
+	e.measured = meas
+	e.mpCoeff = cp.MPCoeff
+	e.mpValid = cp.MPValid
+	e.delay = cp.Delay
+	e.delayKnown = cp.DelayKnown
+	e.plan = cp.Plan
+	e.planKnown = cp.PlanKnown
+	e.pairs = append(e.pairs[:0], cp.Pairs...)
+	e.evictions = cp.Evictions
+	e.evTotal = cp.EvTotal
+	e.gram = gram
+	e.drift = cp.Drift
+	e.driftOK = cp.DriftOK
+	e.driftErr = cp.DriftErr
+	return nil
+}
+
+// ReplayTo restores a checkpoint into a fresh engine over a freshly built,
+// identically seeded machine: it drives the engine quietly (no sink, no
+// audit) through cp.Tick ticks — reproducing the exact pull/flush pattern
+// of the original run, which the simulation's float state depends on —
+// verifies that the naturally replayed consumer state encodes
+// byte-identically to the checkpoint (catching any state the checkpoint
+// failed to capture, or any divergence in the rebuilt machine), and then
+// installs the decoded checkpoint state. The returned engine continues
+// the stream exactly where the checkpointed run left off.
+func ReplayTo(src Sources, cfg Config, cp *Checkpoint) (*Engine, error) {
+	e := New(src, cfg)
+	if got := sim.Time(cp.Tick) * e.cfg.Tick; got != cp.T {
+		return nil, fmt.Errorf("stream: checkpoint time %d does not sit on the configured tick grid (tick %d × %s)", cp.T, cp.Tick, sim.FormatTime(e.cfg.Tick))
+	}
+	e.RunTicks(cp.Tick)
+	natural := EncodeCheckpoint(e.Checkpoint())
+	want := EncodeCheckpoint(cp)
+	if !bytes.Equal(natural, want) {
+		return nil, fmt.Errorf("stream: quiet replay diverged from checkpoint at tick %d (%d vs %d encoded bytes)", cp.Tick, len(natural), len(want))
+	}
+	if err := e.restore(cp); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

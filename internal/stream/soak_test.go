@@ -1,0 +1,112 @@
+package stream_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/experiments"
+	"powercontainers/internal/model"
+	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/stream"
+	"powercontainers/internal/workload"
+)
+
+// longBed deploys a GAE machine with an open loop running to the given
+// horizon — the soak/bench variant of deployBed.
+func longBed(tb testing.TB, seed uint64, until sim.Time) testbed {
+	tb.Helper()
+	m, err := experiments.Assembly{}.NewMachine(cpu.SandyBridge, core.ApproachRecalibrated, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dep := workload.GAE{}.Deploy(m.K, m.Rng.Fork(11))
+	gen := server.NewLoadGen(m.K, m.Fac, dep)
+	gen.RunOpenLoop(0.4*experiments.PeakRate(m.K.Spec, dep), until, m.Rng.Fork(13))
+	return testbed{m: m, gen: gen, t1: until}
+}
+
+// TestStreamSoak runs the streaming engine continuously for 30 virtual
+// seconds of GAE traffic with auditing and automatic checkpoints on: no
+// stream violations, a checkpoint at every boundary, a system record
+// every tick, containers retiring throughout, and the ring memory bound
+// holding (retained never exceeds capacity). This is the long-running
+// stability test the CI race job exercises.
+func TestStreamSoak(t *testing.T) {
+	const horizon = 30 * sim.Second
+	bed := longBed(t, 51, horizon-2*sim.Second)
+	probe := &auditProbe{}
+	hasher := stream.NewHasher()
+	e := stream.New(stream.Sources{Eng: bed.m.Eng, Fac: bed.m.Fac, Meter: bed.m.Chip, Scope: model.ScopePackage},
+		stream.Config{Tick: 100 * sim.Millisecond, CheckpointEvery: 50})
+	e.Audit = probe
+	done := 0
+	e.Sink = stream.Tee{hasher, sinkFunc(func(r stream.Record) {
+		if r.Kind == stream.KindContainer && r.Done {
+			done++
+		}
+	})}
+	e.RunUntil(horizon)
+
+	ticks := int(horizon / (100 * sim.Millisecond))
+	if e.Tick() != ticks {
+		t.Fatalf("engine at tick %d, want %d", e.Tick(), ticks)
+	}
+	if len(probe.violations) != 0 {
+		t.Fatalf("stream violations during soak: %v", probe.violations)
+	}
+	if want := ticks / 50; len(probe.checkpoints) != want {
+		t.Fatalf("%d automatic checkpoints, want %d", len(probe.checkpoints), want)
+	}
+	if hasher.Count() == 0 || done == 0 {
+		t.Fatalf("soak emitted %d records with %d container retirements", hasher.Count(), done)
+	}
+	// The engine stayed within its configured memory bounds.
+	if got, bound := e.DriftWindow(), e.Config().DriftWindow; len(got) > bound {
+		t.Fatalf("drift window grew to %d pairs, bound %d", len(got), bound)
+	}
+	if e.Drained() {
+		// The open loop stops before the horizon, but chip maintenance
+		// and recalibration reschedule forever.
+		t.Fatal("engine reports drained with periodic events pending")
+	}
+}
+
+// sinkFunc adapts a function to the Sink interface.
+type sinkFunc func(stream.Record)
+
+func (f sinkFunc) OnRecord(r stream.Record) { f(r) }
+
+// BenchmarkStreamIngest measures steady-state streaming cost: virtual
+// ticks consumed per wall second, meter samples ingested per wall second,
+// and allocations per tick. scripts/bench_stream.sh parses this into
+// BENCH_stream.json.
+func BenchmarkStreamIngest(b *testing.B) {
+	bed := longBed(b, 53, sim.Time(1)<<62)
+	e := stream.New(stream.Sources{Eng: bed.m.Eng, Fac: bed.m.Fac, Meter: bed.m.Chip, Scope: model.ScopePackage},
+		stream.Config{Tick: 100 * sim.Millisecond})
+	e.Sink = stream.NewHasher()
+	// Warm past model bring-up so the benchmark sees steady state.
+	e.RunTicks(50)
+	start := e.Records()
+	var samples int64
+	e.Sink = stream.Tee{sinkFunc(func(r stream.Record) {
+		if r.Kind == stream.KindSystem {
+			samples += int64(r.Samples)
+		}
+	})}
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunTicks(b.N)
+	b.StopTimer()
+	if e.Records() == start {
+		b.Fatal("benchmark ingested nothing")
+	}
+	sec := b.Elapsed().Seconds()
+	if sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "ticks/sec")
+		b.ReportMetric(float64(samples)/sec, "samples/sec")
+	}
+	b.ReportMetric(float64(samples)/float64(b.N), "samples/tick")
+}

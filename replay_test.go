@@ -5,8 +5,15 @@ import (
 	"time"
 
 	"powercontainers/internal/audit"
+	"powercontainers/internal/core"
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/experiments"
 	"powercontainers/internal/export"
+	"powercontainers/internal/model"
 	"powercontainers/internal/server"
+	"powercontainers/internal/sim"
+	"powercontainers/internal/stream"
+	"powercontainers/internal/workload"
 )
 
 // TestDeterministicReplay executes a mixed workload — GAE with virus
@@ -45,5 +52,69 @@ func TestDeterministicReplay(t *testing.T) {
 	}
 	if err := audit.ReplayCheck(produce); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDeterministicReplayCheckpoint is the streaming extension of the
+// replay check: run the streaming engine to a mid-run cut, checkpoint,
+// restore the checkpoint into a fresh engine over a freshly built
+// identically seeded machine, and require the SHA-256 of the remaining
+// record stream to match the uninterrupted run's — any engine state the
+// checkpoint fails to capture, or any nondeterminism in the rebuilt
+// machine, changes the hash.
+func TestDeterministicReplayCheckpoint(t *testing.T) {
+	const (
+		cut     = 23
+		horizon = 6 * sim.Second
+	)
+	cfg := stream.Config{Tick: 100 * sim.Millisecond}
+	build := func() (*experiments.Machine, stream.Sources) {
+		m, err := experiments.NewMachine(cpu.SandyBridge, core.ApproachRecalibrated, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dep := workload.GAE{}.Deploy(m.K, m.Rng.Fork(11))
+		gen := server.NewLoadGen(m.K, m.Fac, dep)
+		gen.RunOpenLoop(0.4*experiments.PeakRate(m.K.Spec, dep), horizon-sim.Second, m.Rng.Fork(13))
+		return m, stream.Sources{Eng: m.Eng, Fac: m.Fac, Meter: m.Chip, Scope: model.ScopePackage}
+	}
+
+	// Uninterrupted run: hash everything emitted after the cut.
+	_, src := build()
+	full := stream.New(src, cfg)
+	var col stream.Collector
+	full.Sink = &col
+	full.RunUntil(horizon)
+	want := stream.NewHasher()
+	for _, r := range col.Records {
+		if r.Tick > cut {
+			want.OnRecord(r)
+		}
+	}
+	if want.Count() == 0 {
+		t.Fatal("no records after the cut")
+	}
+
+	// Interrupted run: stream to the cut, checkpoint, round-trip the
+	// encoding, restore into a fresh engine, continue.
+	_, src = build()
+	head := stream.New(src, cfg)
+	head.RunTicks(cut)
+	cp, err := stream.DecodeCheckpoint(stream.EncodeCheckpoint(head.Checkpoint()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, src = build()
+	tail, err := stream.ReplayTo(src, cfg, cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stream.NewHasher()
+	tail.Sink = got
+	tail.RunUntil(horizon)
+
+	if got.Sum() != want.Sum() {
+		t.Fatalf("restored stream SHA-256 %s, uninterrupted %s (%d vs %d records)",
+			got.Sum(), want.Sum(), got.Count(), want.Count())
 	}
 }

@@ -1,0 +1,43 @@
+#!/bin/sh
+# Refreshes BENCH_stream.json: the streaming attribution engine's ingest
+# benchmark — virtual ticks and meter samples consumed per wall second,
+# with per-tick allocation counts. Extra args go to `go test`
+# (e.g. -benchtime=1x for a smoke run, -benchtime=5s for stable numbers).
+set -e
+cd "$(dirname "$0")/.."
+out="$PWD/BENCH_stream.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run='^$' -bench='^BenchmarkStreamIngest$' \
+	-benchmem "$@" ./internal/stream/ | tee "$tmp"
+
+# Parse `BenchmarkName[-P]  iters  <value unit>...` lines into JSON, the
+# same scheme as bench_numerics.sh: ns/op, B/op, allocs/op plus the
+# benchmark's ReportMetric extras (ticks/sec, samples/sec, samples/tick);
+# GOMAXPROCS suffixes are stripped so names are host-independent.
+awk -v cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	line = sprintf("    {\"name\": \"%s\", \"iters\": %s", name, $2)
+	for (i = 3; i + 1 <= NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op")          key = "ns_per_op"
+		else if (u == "B/op")      key = "bytes_per_op"
+		else if (u == "allocs/op") key = "allocs_per_op"
+		else {
+			key = u
+			gsub(/[^A-Za-z0-9]+/, "_", key)
+			key = "metric_" key
+		}
+		line = line sprintf(", \"%s\": %s", key, v)
+	}
+	lines[++n] = line "}"
+}
+END {
+	printf "{\n  \"cores\": %d,\n  \"benchmarks\": [\n", cores
+	for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "")
+	printf "  ]\n}\n"
+}' "$tmp" > "$out"
+cat "$out"
