@@ -15,7 +15,7 @@ import (
 // CLI binaries that render experiment output.
 var (
 	scopeExact = []string{"powercontainers"}
-	scopeLast  = []string{"sim", "experiments", "export", "runner", "kernel", "faults", "stream", "pcbench", "pcreport", "pctrace", "pccalib", "pcstream"}
+	scopeLast  = []string{"sim", "experiments", "export", "runner", "kernel", "faults", "stream", "pcbench", "pcreport", "pctrace", "pccalib", "pcstream", "powerctl"}
 )
 
 var Analyzer = &analysis.Analyzer{

@@ -15,6 +15,10 @@ func TestDetlintFaultsScope(t *testing.T) {
 	analysistest.Run(t, detlint.Analyzer, "faults")
 }
 
+func TestDetlintPowerctlScope(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "powerctl")
+}
+
 func TestDetlintOutOfScope(t *testing.T) {
 	analysistest.Run(t, detlint.Analyzer, "other")
 }

@@ -1,0 +1,16 @@
+// Package powerctl is a detlint fixture named after the hierarchy CLI,
+// pinning the scope extension: the store the CLI writes must be
+// byte-stable across runs, so wall-clock stamps are off limits.
+package powerctl
+
+import "time"
+
+// Stamp would bake a wall-clock timestamp into the persistent store.
+func Stamp() int64 {
+	return time.Now().Unix() // want `wall-clock call time\.Now`
+}
+
+// Age computes a wall-clock-relative quantity.
+func Age(saved time.Time) time.Duration {
+	return time.Since(saved) // want `wall-clock call time\.Since`
+}

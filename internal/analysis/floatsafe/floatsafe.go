@@ -21,13 +21,13 @@ import (
 
 var (
 	scopeExact []string
-	scopeLast  = []string{"model", "align", "linalg", "power", "stats", "stream"}
+	scopeLast  = []string{"model", "align", "linalg", "power", "stats", "stream", "core"}
 )
 
 var Analyzer = &analysis.Analyzer{
 	Name: "floatsafe",
 	Doc: "flags exact float ==/!= comparisons and unguarded float divisions in " +
-		"the numeric packages (model, align, linalg, power, stats, stream)",
+		"the numeric packages (model, align, linalg, power, stats, stream, core)",
 	Run: run,
 }
 

@@ -15,6 +15,10 @@ func TestFloatsafeStatsScope(t *testing.T) {
 	analysistest.Run(t, floatsafe.Analyzer, "stats")
 }
 
+func TestFloatsafeCoreScope(t *testing.T) {
+	analysistest.Run(t, floatsafe.Analyzer, "core")
+}
+
 func TestFloatsafeOutOfScope(t *testing.T) {
 	analysistest.Run(t, floatsafe.Analyzer, "other")
 }

@@ -1,0 +1,32 @@
+// Package core is a floatsafe fixture named after the real accounting
+// core, pinning that the scope extension covers it: the facility's metric
+// normalizations and the hierarchy's budget arithmetic are float paths.
+package core
+
+// Normalize divides counter deltas by an unchecked cycle count, as the
+// facility's per-period metrics would without their elapsed-cycles guard.
+func Normalize(delta, elapsedCycles float64) float64 {
+	return delta / elapsedCycles // want `division by elapsedCycles with no dominating guard`
+}
+
+// NormalizeGuarded is the sanctioned shape: the denominator is checked by
+// a dominating branch before the division.
+func NormalizeGuarded(delta, elapsedCycles float64) float64 {
+	if elapsedCycles <= 0 {
+		return 0
+	}
+	return delta / elapsedCycles
+}
+
+// OverBudget compares a tenant's draw bit-for-bit against its budget.
+func OverBudget(sumW, budgetW float64) bool {
+	return sumW != budgetW // want `exact float comparison sumW != budgetW`
+}
+
+// SuppressedMean mirrors the real package's annotated running-mean update,
+// whose denominator is a freshly incremented sample count.
+func SuppressedMean(mean, delta float64, n int) float64 {
+	n++
+	//pclint:allow floatsafe n was incremented above, so the denominator is at least 1
+	return mean + delta/float64(n)
+}

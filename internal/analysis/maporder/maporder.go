@@ -16,7 +16,7 @@ import (
 
 var (
 	scopeExact = []string{"powercontainers"}
-	scopeLast  = []string{"experiments", "export", "stats", "stream", "trace"}
+	scopeLast  = []string{"experiments", "export", "stats", "stream", "trace", "core", "powerctl"}
 )
 
 var Analyzer = &analysis.Analyzer{

@@ -11,6 +11,14 @@ func TestMaporder(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer, "experiments")
 }
 
+func TestMaporderCoreScope(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "core")
+}
+
+func TestMaporderPowerctlScope(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "powerctl")
+}
+
 func TestMaporderOutOfScope(t *testing.T) {
 	analysistest.Run(t, maporder.Analyzer, "other")
 }

@@ -1,0 +1,30 @@
+// Package core is a maporder fixture named after the real accounting
+// core, pinning the scope extension: hierarchy roll-ups feed rendering and
+// persistence, so map iteration order must never reach them.
+package core
+
+import "sort"
+
+// RollUp leaks map iteration order into an accumulated float sum.
+func RollUp(byTenant map[string]float64) float64 {
+	var sum float64
+	for _, v := range byTenant { // want `iteration over map byTenant has nondeterministic order`
+		sum += v
+	}
+	return sum
+}
+
+// RollUpSorted is the sanctioned shape: collect, sort, then fold.
+func RollUpSorted(byTenant map[string]float64) float64 {
+	names := make([]string, 0, len(byTenant))
+	//pclint:allow maporder key collection is sorted before any use
+	for name := range byTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var sum float64
+	for _, name := range names {
+		sum += byTenant[name]
+	}
+	return sum
+}

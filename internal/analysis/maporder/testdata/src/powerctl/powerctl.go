@@ -1,0 +1,13 @@
+// Package powerctl is a maporder fixture named after the hierarchy CLI,
+// pinning the scope extension: everything powerctl prints must be stable
+// across invocations, so raw map iteration cannot reach its output.
+package powerctl
+
+// ListBudgets leaks map iteration order straight into CLI output lines.
+func ListBudgets(budgets map[string]float64) []string {
+	var out []string
+	for tenant := range budgets { // want `iteration over map budgets has nondeterministic order`
+		out = append(out, tenant)
+	}
+	return out
+}

@@ -130,6 +130,9 @@ type Auditor struct {
 	recalFallbacks int
 	faultEvents    int
 
+	// hierarchy / budget enforcement bookkeeping
+	budgetThrottles int
+
 	// streaming bookkeeping
 	checkpoints     int
 	checkpointBytes int
@@ -194,6 +197,10 @@ func (a *Auditor) RecalFallbacks() int { return a.recalFallbacks }
 
 // FaultEvents returns how many injected faults were reported.
 func (a *Auditor) FaultEvents() int { return a.faultEvents }
+
+// BudgetThrottles returns how many tenant-budget enforcement decisions the
+// conditioner reported.
+func (a *Auditor) BudgetThrottles() int { return a.budgetThrottles }
 
 // Violations returns every recorded violation.
 func (a *Auditor) Violations() []Violation {
@@ -269,6 +276,7 @@ func (a *Auditor) FinalizeMachine() error {
 			break
 		}
 	}
+	a.checkHierarchy(now)
 	// Lifecycle reconciliation: the audited retain/release history must
 	// match each container's final refcount, and released containers
 	// must have balanced histories.
@@ -288,6 +296,77 @@ func (a *Auditor) FinalizeMachine() error {
 		}
 	}
 	return a.Err()
+}
+
+// checkHierarchy reconciles the tenant→service→request hierarchy, if one
+// is attached: at every node the canonical roll-up (containers summed in
+// creation order) must match the incrementally charged accumulator within
+// 1e-9, services must sum to their tenant, every tenant-tagged container
+// must resolve to a registered service, and budget throttles may only hit
+// budgeted tenants.
+func (a *Auditor) checkHierarchy(now sim.Time) {
+	h := a.fac.Hierarchy()
+	if h == nil {
+		if a.budgetThrottles > 0 {
+			a.report("budget-enforcement", now,
+				"%d budget throttles reported without a hierarchy", a.budgetThrottles)
+		}
+		return
+	}
+	for i := 0; i < h.NumServices(); i++ {
+		s := h.ServiceAt(i)
+		roll, acc := s.RollUp(), s.Usage()
+		if !closeRel(roll.EnergyJ(), acc.EnergyJ(), 1e-9) {
+			a.report("hierarchy", now,
+				"service %s: Σ requests %.9f J != incremental %.9f J",
+				s.Qualified(), roll.EnergyJ(), acc.EnergyJ())
+		}
+		if !closeRel(roll.ChipEnergyJ, acc.ChipEnergyJ, 1e-9) {
+			a.report("hierarchy", now,
+				"service %s: Σ request chip energy %.9f J != incremental %.9f J",
+				s.Qualified(), roll.ChipEnergyJ, acc.ChipEnergyJ)
+		}
+		// Busy time is integer virtual time: the sums must agree exactly.
+		if roll.CPUTime != acc.CPUTime || roll.Requests != acc.Requests {
+			a.report("hierarchy", now,
+				"service %s: roll-up cpu=%s n=%d vs incremental cpu=%s n=%d",
+				s.Qualified(), sim.FormatTime(roll.CPUTime), roll.Requests,
+				sim.FormatTime(acc.CPUTime), acc.Requests)
+		}
+	}
+	for i := 0; i < h.NumTenants(); i++ {
+		t := h.TenantAt(i)
+		var svcSum float64
+		for _, s := range t.Services() {
+			svcSum += s.Usage().EnergyJ()
+		}
+		acc := t.Usage()
+		if !closeRel(svcSum, acc.EnergyJ(), 1e-9) {
+			a.report("hierarchy", now,
+				"tenant %s: Σ services %.9f J != tenant %.9f J", t.Name, svcSum, acc.EnergyJ())
+		}
+		if roll := t.RollUp(); !closeRel(roll.EnergyJ(), acc.EnergyJ(), 1e-9) {
+			a.report("hierarchy", now,
+				"tenant %s: canonical roll-up %.9f J != incremental %.9f J",
+				t.Name, roll.EnergyJ(), acc.EnergyJ())
+		}
+		if t.BudgetThrottles() > 0 && t.Budget.IsZero() {
+			a.report("budget-enforcement", now,
+				"tenant %s throttled %d times with no budget configured",
+				t.Name, t.BudgetThrottles())
+		}
+	}
+	for i := 0; i < a.fac.NumContainers(); i++ {
+		c := a.fac.ContainerAt(i)
+		if c.Tenant == "" {
+			continue
+		}
+		if _, ok := h.FindService(c.Tenant, c.Service); !ok {
+			a.report("hierarchy", now,
+				"container %d (%s) tagged %s/%s but no such service is registered",
+				c.ID, c.Label, c.Tenant, c.Service)
+		}
+	}
 }
 
 // CheckLedger reconciles a dispatcher's ledger against the executing

@@ -142,6 +142,34 @@ func (a *Auditor) OnCounterFix(coreID int, kind string, t sim.Time) {
 	a.counterFixes++
 }
 
+// ---- hierarchical budget enforcement ----
+
+// OnBudgetThrottle implements core.AuditHook: enforcement decisions must
+// be legal — the throttled container is filed under the named tenant, that
+// tenant is registered in the attached hierarchy and actually carries a
+// budget, and the assigned duty level is a real throttle (at least the
+// floor, below full speed).
+func (a *Auditor) OnBudgetThrottle(c *core.Container, tenant string, lvl int, t sim.Time) {
+	if c.Tenant != tenant {
+		a.report("budget-enforcement", t, "container %d (%s) of tenant %q throttled as tenant %q",
+			c.ID, c.Label, c.Tenant, tenant)
+	}
+	if lvl < 1 {
+		a.report("budget-enforcement", t, "tenant %q assigned illegal duty level %d", tenant, lvl)
+	}
+	if a.fac != nil {
+		h := a.fac.Hierarchy()
+		if h == nil {
+			a.report("budget-enforcement", t, "budget throttle for tenant %q without a hierarchy", tenant)
+		} else if ten, ok := h.FindTenant(tenant); !ok {
+			a.report("budget-enforcement", t, "budget throttle for unregistered tenant %q", tenant)
+		} else if ten.Budget.IsZero() {
+			a.report("budget-enforcement", t, "budget throttle for unbudgeted tenant %q", tenant)
+		}
+	}
+	a.budgetThrottles++
+}
+
 // ---- container lifecycle legality (§3.5) ----
 
 // OnRetain implements core.AuditHook: a released request container must

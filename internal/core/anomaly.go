@@ -101,6 +101,7 @@ func (d *AnomalyDetector) observe(now sim.Time, cont *Container, powerW float64)
 	}
 	d.n++
 	delta := powerW - d.mean
+	//pclint:allow floatsafe d.n was incremented above, so the denominator is at least 1
 	d.mean += delta / float64(d.n)
 	d.m2 += delta * (powerW - d.mean)
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"powercontainers/internal/cpu"
 )
 
@@ -20,6 +22,14 @@ type Conditioner struct {
 	// ThrottleDecisions counts duty-level changes, for overhead
 	// reporting.
 	ThrottleDecisions uint64
+
+	// BudgetThrottles counts the subset of decisions forced by tenant
+	// budget enforcement (beyond fair per-request conditioning).
+	BudgetThrottles uint64
+
+	// scratch is the reusable worst-first ranking buffer; the conditioner
+	// runs only on the simulation goroutine.
+	scratch []*Container
 }
 
 // EnableConditioning activates fair power conditioning with the given
@@ -29,14 +39,24 @@ func (f *Facility) EnableConditioning(systemTargetW float64) *Conditioner {
 	return f.cond
 }
 
-// DisableConditioning removes the conditioning policy; cores return to full
-// speed the next time each is adjusted... immediately for simplicity.
+// DisableConditioning removes the conditioning policy and resets the duty
+// machinery exactly once: every core's duty register returns to full speed
+// immediately, and every container's conditioner-assigned duty level is
+// cleared, so a later EnableConditioning starts from the same state a
+// freshly conditioned facility would instead of resuming stale throttle
+// levels. Calling it again without an intervening enable is a no-op.
 func (f *Facility) DisableConditioning() {
+	if f.cond == nil {
+		return
+	}
 	f.cond = nil
 	for _, c := range f.K.Cores {
 		if c.DutyLevel() != c.DutyMax() {
 			c.SetDutyLevel(c.DutyMax())
 		}
+	}
+	for _, c := range f.containers {
+		c.dutyLevel = 0
 	}
 }
 
@@ -62,7 +82,10 @@ func (c *Conditioner) perRequestTarget(cont *Container) float64 {
 }
 
 // adjust reassesses a running request's duty level from its most recent
-// modeled power (called after each periodic sample).
+// modeled power (called after each periodic sample). Fair per-request
+// conditioning (§3.4) runs first; hierarchical budget enforcement then
+// composes with it by only ever pushing the level further down, so a
+// tenant cap can tighten but never loosen the fair policy.
 func (c *Conditioner) adjust(core *cpu.Core, cont *Container) {
 	target := c.perRequestTarget(cont)
 	lvl := cont.dutyLevel
@@ -81,11 +104,134 @@ func (c *Conditioner) adjust(core *cpu.Core, cont *Container) {
 			lvl++
 		}
 	}
+	fair := lvl
+	switch act, floor := c.tenantEnforce(cont); act {
+	case enforceThrottle:
+		// One duty step down per sample relative to the request's
+		// current level — the same gradual-descent cadence the fair
+		// policy uses — but never below the enforcement floor, and never
+		// above what fair conditioning chose.
+		base := cont.dutyLevel
+		if base == 0 {
+			base = core.DutyMax()
+		}
+		step := base - 1
+		if step < floor {
+			step = floor
+		}
+		if step < lvl {
+			lvl = step
+		}
+	case enforceHold:
+		// The tenant is over budget but this request is outside the
+		// worst-first prefix: it keeps its current level. Without the
+		// hold, fair step-ups on the tenant's other requests would
+		// cancel every enforcement step-down and the tenant's draw
+		// would never descend to the budget.
+		base := cont.dutyLevel
+		if base == 0 {
+			base = core.DutyMax()
+		}
+		if lvl > base {
+			lvl = base
+		}
+	}
 	if lvl != cont.dutyLevel {
 		cont.dutyLevel = lvl
 		c.ThrottleDecisions++
+		if lvl < fair {
+			c.BudgetThrottles++
+			cont.svc.Tenant.budgetThrottles++
+			if c.f.Audit != nil {
+				c.f.Audit.OnBudgetThrottle(cont, cont.svc.Tenant.Name, lvl, c.f.K.Now())
+			}
+		}
 	}
 	c.apply(core, cont)
+}
+
+// enforceAction is tenant budget enforcement's verdict for one request.
+type enforceAction int
+
+const (
+	// enforceNone leaves the request to fair conditioning alone.
+	enforceNone enforceAction = iota
+	// enforceHold freezes the request at its current duty level: its
+	// tenant is over budget, but worse siblings are being throttled
+	// first.
+	enforceHold
+	// enforceThrottle steps the request's duty level down.
+	enforceThrottle
+)
+
+// tenantEnforce decides what hierarchical budget enforcement wants for
+// this request right now, returning the duty floor to descend toward.
+// An exhausted energy budget condemns every request of the tenant to the
+// floor; a power budget throttles the tenant's worst requests first: the
+// currently running requests are ranked by modeled power (descending, ID
+// ascending as the deterministic tie-break) and the minimal prefix whose
+// combined draw covers the overshoot is selected. Requests outside that
+// prefix hold their level until the tenant is back under budget; every
+// flat-mode container is left to fair conditioning alone.
+func (c *Conditioner) tenantEnforce(cont *Container) (enforceAction, int) {
+	if cont.svc == nil {
+		return enforceNone, 0
+	}
+	ten := cont.svc.Tenant
+	b := ten.Budget
+	if b.EnergyJ > 0 && ten.acc.EnergyJ() >= b.EnergyJ {
+		return enforceThrottle, 1
+	}
+	if b.PowerW <= 0 {
+		return enforceNone, 0
+	}
+	running, sum := c.runningOf(ten)
+	if sum <= b.PowerW {
+		return enforceNone, 0
+	}
+	sort.Slice(running, func(i, j int) bool {
+		if running[i].LastPowerW > running[j].LastPowerW {
+			return true
+		}
+		if running[i].LastPowerW < running[j].LastPowerW {
+			return false
+		}
+		return running[i].ID < running[j].ID
+	})
+	excess := sum - b.PowerW
+	var covered float64
+	for _, r := range running {
+		if covered >= excess {
+			break
+		}
+		if r == cont {
+			return enforceThrottle, 1
+		}
+		covered += r.LastPowerW
+	}
+	return enforceHold, 0
+}
+
+// runningOf collects the tenant's currently running request containers in
+// core-ID order with their summed modeled power — the synchronization-free
+// live view enforcement ranks. The returned slice aliases the conditioner's
+// scratch buffer.
+func (c *Conditioner) runningOf(t *Tenant) ([]*Container, float64) {
+	c.scratch = c.scratch[:0]
+	var sum float64
+	for _, core := range c.f.K.Cores {
+		task := c.f.K.RunningTask(core.ID)
+		if task == nil {
+			continue
+		}
+		cont := c.f.containerOf(task)
+		if cont.svc == nil || cont.svc.Tenant != t {
+			continue
+		}
+		c.scratch = append(c.scratch, cont)
+		sum += cont.LastPowerW
+	}
+	return c.scratch, sum
 }
 
 // apply programs the core's duty register for the request about to run

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+
+	"powercontainers/internal/cpu"
+	"powercontainers/internal/kernel"
+	"powercontainers/internal/sim"
+)
+
+// hotAct draws ~19 W on the test profile; coolAct ~10 W.
+var (
+	hotAct  = cpu.Activity{IPC: 1.5, LLCPC: 0.02, MemPC: 0.03}
+	coolAct = cpu.Activity{IPC: 1}
+)
+
+// spin returns an endless constant-activity program: the steady-state
+// workload the enforcement and regression tests observe.
+func spin(act cpu.Activity) kernel.Program {
+	return kernel.FuncProgram(func(k *kernel.Kernel, t *kernel.Task) kernel.Op {
+		return kernel.OpCompute{BaseCycles: 5e6, Act: act}
+	})
+}
+
+func TestTenantPowerBudgetThrottlesWorstFirst(t *testing.T) {
+	k, f := newRig(t, quadSpec, Config{Approach: ApproachChipShare})
+	h := NewHierarchy()
+	f.AttachHierarchy(h)
+	h.Tenant("mallory").Budget = Budget{PowerW: 24}
+
+	// mallory runs a ~20 W virus and a ~11.5 W worker (chip share
+	// included): the sum ≈ 31.5 W exceeds the 24 W budget, and at the
+	// enforcement equilibrium (virus near duty 5/8 ≈ 12.8 W) the virus is
+	// still the tenant's worst request, so worst-first must throttle only
+	// it. acme's request and the flat request see nothing at all.
+	virus := f.NewContainerIn("mallory", "burn", "virus")
+	worker := f.NewContainerIn("mallory", "burn", "worker")
+	victim := f.NewContainerIn("acme", "web", "victim")
+	flat := f.NewContainer("flat")
+
+	k.Spawn("v", kernel.Script(kernel.OpCompute{BaseCycles: 400e6, Act: hotAct}), virus)
+	k.Spawn("m", kernel.Script(kernel.OpCompute{BaseCycles: 400e6, Act: coolAct}), worker)
+	k.Spawn("a", kernel.Script(kernel.OpCompute{BaseCycles: 400e6, Act: coolAct}), victim)
+	k.Spawn("f", kernel.Script(kernel.OpCompute{BaseCycles: 400e6, Act: coolAct}), flat)
+	cond := f.EnableConditioning(1000) // fair conditioning never binds
+	k.Eng.Run()
+
+	if duty := virus.MeanDutyFraction(); duty > 0.85 {
+		t.Fatalf("virus duty %.2f, expected budget throttling", duty)
+	}
+	if duty := worker.MeanDutyFraction(); duty < 0.99 {
+		t.Fatalf("worst-first violated: mallory's cool worker throttled to %.2f", duty)
+	}
+	if duty := victim.MeanDutyFraction(); duty < 0.99 {
+		t.Fatalf("victim tenant throttled to %.2f", duty)
+	}
+	if duty := flat.MeanDutyFraction(); duty < 0.99 {
+		t.Fatalf("flat request throttled to %.2f", duty)
+	}
+	if cond.BudgetThrottles == 0 || h.Tenant("mallory").BudgetThrottles() == 0 {
+		t.Fatal("no budget throttles recorded")
+	}
+	if h.Tenant("acme").BudgetThrottles() != 0 {
+		t.Fatal("budget throttles charged to the wrong tenant")
+	}
+}
+
+func TestTenantEnergyBudgetFloorsTenant(t *testing.T) {
+	k, f := newRig(t, uniSpec, Config{Approach: ApproachChipShare})
+	h := NewHierarchy()
+	f.AttachHierarchy(h)
+	h.Tenant("mallory").Budget = Budget{EnergyJ: 0.05}
+
+	hog := f.NewContainerIn("mallory", "burn", "hog")
+	k.Spawn("h", kernel.Script(kernel.OpCompute{BaseCycles: 400e6, Act: hotAct}), hog)
+	f.EnableConditioning(1000)
+	k.Eng.Run()
+
+	// The 0.05 J allowance is gone within a few milliseconds of ~19 W
+	// draw; the rest of the request runs pinned to the duty floor.
+	if duty := hog.MeanDutyFraction(); duty > 0.35 {
+		t.Fatalf("exhausted tenant still at duty %.2f", duty)
+	}
+	if h.Tenant("mallory").BudgetThrottles() == 0 {
+		t.Fatal("no budget throttles recorded")
+	}
+}
+
+func TestBudgetEnforcementInactiveInFlatMode(t *testing.T) {
+	// Same workload as TestConditionerThrottlesHighPowerRequest: with no
+	// hierarchy configured, only fair conditioning acts and no budget
+	// throttles are ever counted.
+	k, f := newRig(t, uniSpec, Config{})
+	cond := f.EnableConditioning(10)
+	hot := f.NewContainer("hot")
+	k.Spawn("w", kernel.Script(kernel.OpCompute{BaseCycles: 200e6, Act: hotAct}), hot)
+	k.Eng.Run()
+	if hot.MeanDutyFraction() > 0.85 {
+		t.Fatal("fair conditioning stopped working")
+	}
+	if cond.BudgetThrottles != 0 {
+		t.Fatalf("flat mode counted %d budget throttles", cond.BudgetThrottles)
+	}
+}
+
+func TestDisableConditioningResetsExactlyOnce(t *testing.T) {
+	k, f := newRig(t, uniSpec, Config{})
+	f.EnableConditioning(10)
+	hot := f.NewContainer("hot")
+	k.Spawn("w", spin(hotAct), hot)
+	k.Eng.RunUntil(200 * sim.Millisecond)
+	if hot.dutyLevel == 0 {
+		t.Fatal("setup failed: request never throttled")
+	}
+	f.DisableConditioning()
+	if hot.dutyLevel != 0 {
+		t.Fatal("container duty level not cleared")
+	}
+	if k.Cores[0].DutyLevel() != k.Cores[0].DutyMax() {
+		t.Fatal("core duty not restored")
+	}
+	// A second disable without an intervening enable is a no-op — even if
+	// someone poked the duty register in between, it is not reset again.
+	k.Cores[0].SetDutyLevel(3)
+	f.DisableConditioning()
+	if k.Cores[0].DutyLevel() != 3 {
+		t.Fatal("second disable was not a no-op")
+	}
+	k.Cores[0].SetDutyLevel(k.Cores[0].DutyMax())
+}
+
+// TestReenableAfterDisableReproducesThrottleDecisions is the satellite
+// regression test: disabling conditioning must clear per-container duty
+// state, so a later re-enable makes exactly the throttle decisions a fresh
+// enable would. The workload is a steady-state spin, so the decision
+// sequence depends only on the (reset) starting state.
+func TestReenableAfterDisableReproducesThrottleDecisions(t *testing.T) {
+	const window = sim.Second
+
+	// Reference machine: conditioning enabled once, at t=1s.
+	kA, fA := newRig(t, uniSpec, Config{})
+	contA := fA.NewContainer("hot")
+	kA.Spawn("w", spin(hotAct), contA)
+	kA.Eng.RunUntil(1 * sim.Second)
+	condA := fA.EnableConditioning(10)
+	kA.Eng.RunUntil(1*sim.Second + window)
+	decA := condA.ThrottleDecisions
+	lvlA := contA.dutyLevel
+
+	// Probed machine: an earlier enable throttles the request, then
+	// conditioning is disabled, the workload recovers to steady state, and
+	// conditioning is re-enabled for an identical window.
+	kB, fB := newRig(t, uniSpec, Config{})
+	contB := fB.NewContainer("hot")
+	kB.Spawn("w", spin(hotAct), contB)
+	kB.Eng.RunUntil(300 * sim.Millisecond)
+	fB.EnableConditioning(10)
+	kB.Eng.RunUntil(600 * sim.Millisecond)
+	if contB.dutyLevel == 0 {
+		t.Fatal("setup failed: first enable never throttled")
+	}
+	fB.DisableConditioning()
+	kB.Eng.RunUntil(2 * sim.Second) // recover to full-speed steady state
+	condB := fB.EnableConditioning(10)
+	kB.Eng.RunUntil(2*sim.Second + window)
+	decB := condB.ThrottleDecisions
+	lvlB := contB.dutyLevel
+
+	if decB != decA {
+		t.Fatalf("re-enable made %d decisions, fresh enable made %d: stale duty state survived disable", decB, decA)
+	}
+	if lvlB != lvlA {
+		t.Fatalf("re-enable settled at duty level %d, fresh enable at %d", lvlB, lvlA)
+	}
+}

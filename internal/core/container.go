@@ -96,6 +96,14 @@ type Container struct {
 	// energy cost of web use to the users causing it).
 	Client string
 
+	// Tenant and Service name the hierarchy node the container is filed
+	// under (empty in flat mode). Set by Facility.NewContainerIn; svc is
+	// the resolved node, the nil-check gating every hierarchy code path
+	// so flat-mode behavior stays bit-identical.
+	Tenant  string
+	Service string
+	svc     *Service
+
 	// Start is creation time; End is set by Finish (request completion).
 	Start sim.Time
 	End   sim.Time
@@ -148,14 +156,23 @@ func (c *Container) EnergyJ() float64 { return c.CPUEnergyJ + c.DeviceEnergyJ }
 // cpuSeconds converts attributed busy time to seconds.
 func (c *Container) cpuSeconds() float64 { return float64(c.CPUTime) / float64(sim.Second) }
 
+// perSecond divides a lifetime-accumulated quantity by the container's
+// attributed busy seconds. Every mean-value accessor funnels through this
+// one guard so the zero-duration policy is consistent: power-like
+// quantities fall back to 0 (a container that never ran drew nothing),
+// ratio-like quantities fall back to their identity (1 = unthrottled).
+func (c *Container) perSecond(num, fallback float64) float64 {
+	s := c.cpuSeconds()
+	if s <= 0 {
+		return fallback
+	}
+	return num / s
+}
+
 // MeanActivePowerW is the mean modeled power over the container's busy
 // execution (the "mean request power" of Figure 6).
 func (c *Container) MeanActivePowerW() float64 {
-	s := c.cpuSeconds()
-	if s <= 0 {
-		return 0
-	}
-	return c.CPUEnergyJ / s
+	return c.perSecond(c.CPUEnergyJ, 0)
 }
 
 // MeanIntrinsicPowerW is the mean modeled power excluding the attributed
@@ -164,31 +181,22 @@ func (c *Container) MeanActivePowerW() float64 {
 // so anomaly detection compares intrinsic power, which does not depend on
 // what the sibling cores happen to be doing.
 func (c *Container) MeanIntrinsicPowerW() float64 {
-	s := c.cpuSeconds()
-	if s <= 0 {
-		return 0
-	}
-	return (c.CPUEnergyJ - c.ChipEnergyJ) / s
+	return c.perSecond(c.CPUEnergyJ-c.ChipEnergyJ, 0)
 }
 
 // MeanDutyFraction is the time-averaged duty-cycle ratio applied to the
-// container's execution (Figure 12's y-axis).
+// container's execution (Figure 12's y-axis). A zero-duration container
+// was never modulated, so the fallback is the unthrottled identity 1.
 func (c *Container) MeanDutyFraction() float64 {
-	s := c.cpuSeconds()
-	if s <= 0 {
-		return 1
-	}
-	return c.dutyWeighted / s
+	return c.perSecond(c.dutyWeighted, 1)
 }
 
 // OriginalMeanPowerW estimates the container's mean power had it never been
-// throttled (Figure 12's x-axis).
+// throttled (Figure 12's x-axis). Periods with a non-positive duty
+// fraction contribute no unthrottled-energy estimate (see addPeriod), the
+// same exclusion this mean's zero-duration fallback of 0 applies globally.
 func (c *Container) OriginalMeanPowerW() float64 {
-	s := c.cpuSeconds()
-	if s <= 0 {
-		return 0
-	}
-	return c.origEnergyJ / s
+	return c.perSecond(c.origEnergyJ, 0)
 }
 
 // Stages returns per-component stage statistics in first-seen order.
@@ -219,6 +227,10 @@ func (c *Container) addPeriod(task string, end, wall sim.Time, ev cpu.Counters, 
 	c.LastPowerW = powerW
 	seconds := float64(wall) / float64(sim.Second)
 	c.dutyWeighted += dutyFrac * seconds
+	// Zero-duty guard: the unthrottled-energy estimate divides by the duty
+	// fraction (linear duty/power assumption, §3.4); a degenerate period
+	// reporting dutyFrac <= 0 is excluded rather than poisoning the sum
+	// with ±Inf — matching OriginalMeanPowerW's zero fallback.
 	if dutyFrac > 0 {
 		c.origEnergyJ += energyJ / dutyFrac
 	}

@@ -103,6 +103,10 @@ type AuditHook interface {
 	// unambiguously — lost overflow interrupts — was reconstructed from
 	// the previous period's rates).
 	OnCounterFix(coreID int, kind string, t sim.Time)
+	// OnBudgetThrottle fires when tenant budget enforcement forces a
+	// request's duty level below what fair per-request conditioning chose:
+	// container c of tenant was assigned level lvl at time t.
+	OnBudgetThrottle(c *Container, tenant string, lvl int, t sim.Time)
 }
 
 // coreState is the facility's per-core sampling baseline.
@@ -139,6 +143,7 @@ type Facility struct {
 	cond    *Conditioner
 	recal   *align.Recalibrator
 	anomaly *AnomalyDetector
+	hier    *Hierarchy
 
 	// SampleCount counts container maintenance operations performed.
 	SampleCount uint64
@@ -193,6 +198,31 @@ func (f *Facility) ContainerAt(i int) *Container { return f.containers[i] }
 // request's first message via kernel.Inject.
 func (f *Facility) NewContainer(label string) *Container {
 	return f.newContainer(label, KindRequest)
+}
+
+// AttachHierarchy installs the tenant→service→request registry. Every
+// container subsequently created with NewContainerIn is filed under it and
+// charged at both aggregation levels; containers from plain NewContainer
+// (and Background) stay flat.
+func (f *Facility) AttachHierarchy(h *Hierarchy) {
+	if f.hier != nil && f.hier != h {
+		panic("core: facility already has a hierarchy attached")
+	}
+	f.hier = h
+}
+
+// Hierarchy returns the attached registry, or nil in flat mode.
+func (f *Facility) Hierarchy() *Hierarchy { return f.hier }
+
+// NewContainerIn creates a request container filed under tenant/service,
+// registering either on first use. Requires AttachHierarchy.
+func (f *Facility) NewContainerIn(tenant, service, label string) *Container {
+	if f.hier == nil {
+		panic("core: NewContainerIn requires AttachHierarchy")
+	}
+	c := f.newContainer(label, KindRequest)
+	f.hier.Service(tenant, service).adopt(c)
+	return c
 }
 
 func (f *Facility) newContainer(label string, kind Kind) *Container {
@@ -278,12 +308,15 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 		if fixKind != "extrapolate" && !f.cfg.DisableObserverComp && st.maintOps > 0 {
 			delta = delta.Sub(f.maint.Scale(float64(st.maintOps))).ClampNonNegative()
 		}
-		m := model.Metrics{
-			Core:  delta.Cycles / elapsedCycles,
-			Ins:   delta.Instructions / elapsedCycles,
-			Float: delta.Float / elapsedCycles,
-			Cache: delta.Cache / elapsedCycles,
-			Mem:   delta.Mem / elapsedCycles,
+		var m model.Metrics
+		if elapsedCycles > 0 {
+			m = model.Metrics{
+				Core:  delta.Cycles / elapsedCycles,
+				Ins:   delta.Instructions / elapsedCycles,
+				Float: delta.Float / elapsedCycles,
+				Cache: delta.Cache / elapsedCycles,
+				Mem:   delta.Mem / elapsedCycles,
+			}
 		}
 		if m.Core > 1 {
 			m.Core = 1
@@ -311,6 +344,9 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 			name = t.Name
 		}
 		cont.addPeriod(name, now, wall, delta, p*seconds, chipP*seconds, p, c.DutyFraction())
+		if cont.svc != nil {
+			cont.svc.charge(wall, p*seconds, chipP*seconds)
+		}
 		if f.Audit != nil {
 			f.Audit.OnPeriod(cont, name, st.lastTime, now, p*seconds, chipP*seconds, m.Chip)
 		}
@@ -485,6 +521,9 @@ func (f *Facility) OnIO(t *kernel.Task, dev kernel.DeviceKind, bytes int64, busy
 	cont := f.containerOf(t)
 	joules := watts * float64(busy) / float64(sim.Second)
 	cont.DeviceEnergyJ += joules
+	if cont.svc != nil {
+		cont.svc.chargeDevice(joules)
+	}
 	cont.addTrace(f.K.Now(), TraceIO, t.Name, fmt.Sprintf("%s %dB", dev, bytes))
 	var m model.Metrics
 	if dev == kernel.DeviceDisk {

@@ -28,6 +28,7 @@ func (h *fixHook) OnDevicePeriod(c *Container, start, end sim.Time, energyJ floa
 func (h *fixHook) OnRetain(c *Container)                                             {}
 func (h *fixHook) OnRelease(c *Container)                                            {}
 func (h *fixHook) OnCounterFix(coreID int, kind string, t sim.Time)                  { h.fixes[kind]++ }
+func (h *fixHook) OnBudgetThrottle(c *Container, tenant string, lvl int, t sim.Time) {}
 func (h *fixHook) OnRecalReject(now sim.Time, deviationW, thresholdW float64)        { h.rejects++ }
 func (h *fixHook) OnRecalFallback(now sim.Time, reason string) {
 	h.fallbacks = append(h.fallbacks, reason)

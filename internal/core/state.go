@@ -1,0 +1,138 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// HierarchyState is the persistence seam for hierarchy configuration and
+// roll-up snapshots. Two backends implement it, the dual-store shape
+// podman uses for container state: an in-memory store for tests and
+// single-run tooling, and a versioned JSON file store that powerctl and
+// long-lived deployments share.
+type HierarchyState interface {
+	// Save persists the snapshot, replacing any previous one.
+	Save(snap HierarchySnapshot) error
+	// Load returns the stored snapshot. ok is false when nothing has been
+	// saved yet, in which case an empty current-version snapshot is
+	// returned.
+	Load() (snap HierarchySnapshot, ok bool, err error)
+}
+
+// MemoryState is the in-memory backend: snapshots live only as long as the
+// process. Save and Load deep-copy, so callers can mutate their snapshot
+// without aliasing the store.
+type MemoryState struct {
+	snap  HierarchySnapshot
+	saved bool
+}
+
+// NewMemoryState creates an empty in-memory store.
+func NewMemoryState() *MemoryState { return &MemoryState{} }
+
+// Save implements HierarchyState.
+func (m *MemoryState) Save(snap HierarchySnapshot) error {
+	if err := checkSnapshotVersion(snap); err != nil {
+		return err
+	}
+	m.snap = copySnapshot(snap)
+	m.saved = true
+	return nil
+}
+
+// Load implements HierarchyState.
+func (m *MemoryState) Load() (HierarchySnapshot, bool, error) {
+	if !m.saved {
+		return HierarchySnapshot{Version: SnapshotVersion}, false, nil
+	}
+	return copySnapshot(m.snap), true, nil
+}
+
+// JSONState is the persistent backend: one versioned JSON document at
+// Path. Writes go through a temporary file in the same directory followed
+// by a rename, so a crash mid-save never leaves a torn store behind.
+type JSONState struct {
+	Path string
+}
+
+// NewJSONState creates a file-backed store at path (the file itself is
+// created on first Save).
+func NewJSONState(path string) *JSONState { return &JSONState{Path: path} }
+
+// Save implements HierarchyState.
+func (j *JSONState) Save(snap HierarchySnapshot) error {
+	if err := checkSnapshotVersion(snap); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("core: encode hierarchy state: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(j.Path)
+	tmp, err := os.CreateTemp(dir, ".hierarchy-*.json")
+	if err != nil {
+		return fmt.Errorf("core: write hierarchy state: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write hierarchy state: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write hierarchy state: %w", err)
+	}
+	if err := os.Rename(tmpName, j.Path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("core: write hierarchy state: %w", err)
+	}
+	return nil
+}
+
+// Load implements HierarchyState.
+func (j *JSONState) Load() (HierarchySnapshot, bool, error) {
+	data, err := os.ReadFile(j.Path)
+	if os.IsNotExist(err) {
+		return HierarchySnapshot{Version: SnapshotVersion}, false, nil
+	}
+	if err != nil {
+		return HierarchySnapshot{}, false, fmt.Errorf("core: read hierarchy state: %w", err)
+	}
+	var snap HierarchySnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return HierarchySnapshot{}, false, fmt.Errorf("core: decode hierarchy state %s: %w", j.Path, err)
+	}
+	if err := checkSnapshotVersion(snap); err != nil {
+		return HierarchySnapshot{}, false, fmt.Errorf("core: %s: %w", j.Path, err)
+	}
+	return snap, true, nil
+}
+
+func checkSnapshotVersion(snap HierarchySnapshot) error {
+	if snap.Version != SnapshotVersion {
+		return fmt.Errorf("core: hierarchy state version %d (want %d)", snap.Version, SnapshotVersion)
+	}
+	return nil
+}
+
+func copySnapshot(snap HierarchySnapshot) HierarchySnapshot {
+	out := HierarchySnapshot{Version: snap.Version}
+	if snap.Tenants != nil {
+		out.Tenants = make([]TenantSnapshot, len(snap.Tenants))
+		for i, t := range snap.Tenants {
+			ct := t
+			ct.Services = append([]ServiceSnapshot(nil), t.Services...)
+			out.Tenants[i] = ct
+		}
+	}
+	return out
+}
+
+var (
+	_ HierarchyState = (*MemoryState)(nil)
+	_ HierarchyState = (*JSONState)(nil)
+)

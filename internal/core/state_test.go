@@ -1,0 +1,103 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleSnapshot() HierarchySnapshot {
+	var snap HierarchySnapshot
+	snap.Version = SnapshotVersion
+	snap.EnsureTenant("acme").Budget = Budget{PowerW: 25, EnergyJ: 100}
+	s := snap.EnsureService("acme", "web")
+	s.CPUEnergyJ = 1.5
+	s.Requests = 7
+	snap.EnsureService("mallory", "burn")
+	return snap
+}
+
+func TestMemoryStateRoundTrip(t *testing.T) {
+	st := NewMemoryState()
+	if _, ok, err := st.Load(); err != nil || ok {
+		t.Fatalf("fresh store: ok=%v err=%v", ok, err)
+	}
+	want := sampleSnapshot()
+	if err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the caller's copy must not reach the store (deep copy).
+	want.Tenants[0].Services[0].Requests = 999
+	got, ok, err := st.Load()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got.FindTenant("acme").Services[0].Requests != 7 {
+		t.Fatal("store aliased the caller's snapshot")
+	}
+	// Mutating the loaded copy must not reach the store either.
+	got.Tenants[0].Services[0].Requests = 1000
+	again, _, _ := st.Load()
+	if again.FindTenant("acme").Services[0].Requests != 7 {
+		t.Fatal("load aliased the store")
+	}
+}
+
+func TestJSONStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hierarchy.json")
+	st := NewJSONState(path)
+	if _, ok, err := st.Load(); err != nil || ok {
+		t.Fatalf("missing file: ok=%v err=%v", ok, err)
+	}
+	want := sampleSnapshot()
+	if err := st.Save(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Load()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got.FindTenant("acme") == nil || got.FindTenant("acme").Budget.PowerW != 25 {
+		t.Fatalf("loaded = %+v", got)
+	}
+	if got.FindTenant("acme").Services[0].CPUEnergyJ != 1.5 {
+		t.Fatal("usage not persisted")
+	}
+	// The write is atomic: no temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".hierarchy-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	// Round-trip through the registry builder.
+	if _, err := HierarchyFromSnapshot(got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONStateRejectsCorruptAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewJSONState(bad).Load(); err == nil {
+		t.Fatal("corrupt store accepted")
+	}
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NewJSONState(old).Load(); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	var v0 HierarchySnapshot
+	if err := NewJSONState(filepath.Join(dir, "x.json")).Save(v0); err == nil {
+		t.Fatal("unversioned snapshot saved")
+	}
+}

@@ -48,6 +48,15 @@ func TestParallelMatchesSerial(t *testing.T) {
 			}
 			return r.Render(), nil
 		}},
+		// A hierarchical plan: per-tenant accounting and budget
+		// enforcement must replay identically regardless of worker count.
+		{"tenantmix", func(jobs int) (string, error) {
+			r, err := TenantMixEx(Exec{Jobs: jobs}, 7)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
 		// A faulted plan: injected fault streams, robust rejection, and
 		// the reduction against the fault-free baseline must all replay
 		// identically regardless of worker count.

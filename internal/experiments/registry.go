@@ -110,6 +110,10 @@ func Registry() []Experiment {
 			ID: "streamequiv", Title: "streaming vs batch attribution equivalence (online engine extension)",
 			Run: func(ex Exec, seed uint64) (Renderable, error) { return StreamEquivEx(ex, seed) },
 		},
+		{
+			ID: "tenantmix", Title: "multi-tenant budget enforcement and isolation (hierarchy extension)",
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return TenantMixEx(ex, seed) },
+		},
 	}
 }
 

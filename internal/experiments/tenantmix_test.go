@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTenantMixIsolationProperties pins the tenantmix acceptance claims:
+// the budgeted arm caps the virus tenant's attributed power at its budget
+// (±5%) while the victim tenant's latency stays within 1% of its solo run
+// and its intrinsic per-request energy within rounding; the unbudgeted
+// mix shows the budget genuinely binds; and enforcement decisions land
+// only on the budgeted arm.
+func TestTenantMixIsolationProperties(t *testing.T) {
+	r, err := TenantMixEx(Exec{Jobs: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, ok1 := r.Cell("solo")
+	mix, ok2 := r.Cell("mix")
+	budgeted, ok3 := r.Cell("budgeted")
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("missing arms in %+v", r.Cells)
+	}
+	if solo.VictimRequests == 0 || solo.VictimRequests != budgeted.VictimRequests {
+		t.Fatalf("victim completions differ: solo %d, budgeted %d", solo.VictimRequests, budgeted.VictimRequests)
+	}
+
+	// The cap: budgeted virus tenant within ±5% of its budget; the
+	// unbudgeted mix draws well beyond it, so the budget binds.
+	if budgeted.VirusW < 0.95*TenantMixBudgetW || budgeted.VirusW > 1.05*TenantMixBudgetW {
+		t.Fatalf("budgeted virus tenant at %.2f W, budget %d W (cap must hold within 5%%)",
+			budgeted.VirusW, TenantMixBudgetW)
+	}
+	if mix.VirusW < 1.2*TenantMixBudgetW {
+		t.Fatalf("unbudgeted virus tenant draws only %.2f W — the %d W budget never binds", mix.VirusW, TenantMixBudgetW)
+	}
+
+	// Enforcement fires exactly where a budget exists.
+	if budgeted.BudgetThrottles == 0 {
+		t.Fatal("budgeted arm recorded no enforcement decisions")
+	}
+	if solo.BudgetThrottles != 0 || mix.BudgetThrottles != 0 {
+		t.Fatalf("unbudgeted arms recorded throttles: solo %d, mix %d", solo.BudgetThrottles, mix.BudgetThrottles)
+	}
+
+	// Victim isolation: latency within 1% of solo, intrinsic energy
+	// within rounding (the Eq. 3 chip share legitimately dilutes, so
+	// total energy is allowed to move; intrinsic must not).
+	if d := relDiff(budgeted.VictimLatencyMs, solo.VictimLatencyMs); d > 0.01 {
+		t.Fatalf("victim latency moved %.2f%% under the budgeted virus (%.3f ms vs solo %.3f ms)",
+			100*d, budgeted.VictimLatencyMs, solo.VictimLatencyMs)
+	}
+	if d := relDiff(budgeted.VictimIntrinsicMJ, solo.VictimIntrinsicMJ); d > 1e-9 {
+		t.Fatalf("victim intrinsic energy moved beyond rounding: %.6f mJ vs solo %.6f mJ",
+			budgeted.VictimIntrinsicMJ, solo.VictimIntrinsicMJ)
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / (1 + math.Abs(b))
+}

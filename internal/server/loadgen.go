@@ -40,6 +40,12 @@ type LoadGen struct {
 	// energy accounting.
 	Clients *ClientPool
 
+	// ServiceFor, when set, files each request's container under a
+	// hierarchy node by request type: return the tenant and service
+	// names, or an empty tenant for a flat container. Requires the
+	// facility to have a hierarchy attached when a tenant is returned.
+	ServiceFor func(reqType string) (tenant, service string)
+
 	stopped bool
 }
 
@@ -78,7 +84,15 @@ func (g *LoadGen) InjectPrepared(req *Request, extraDone func(*Request)) *Reques
 		req.Client = g.Clients.Draw()
 	}
 	if req.Cont == nil && g.Fac != nil {
-		req.Cont = g.Fac.NewContainer(req.Type)
+		var tenant, service string
+		if g.ServiceFor != nil {
+			tenant, service = g.ServiceFor(req.Type)
+		}
+		if tenant != "" {
+			req.Cont = g.Fac.NewContainerIn(tenant, service, req.Type)
+		} else {
+			req.Cont = g.Fac.NewContainer(req.Type)
+		}
 		req.Cont.Client = req.Client
 		if g.TraceRequests {
 			req.Cont.EnableTrace()

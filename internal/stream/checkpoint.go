@@ -11,8 +11,9 @@ import (
 	"powercontainers/internal/stats"
 )
 
-// CheckpointVersion identifies the checkpoint encoding.
-const CheckpointVersion = 1
+// CheckpointVersion identifies the checkpoint encoding. Version 2 added
+// the hierarchy roll-up cursors (svc_last/ten_last).
+const CheckpointVersion = 2
 
 // ContainerState is one live container's cursor in a checkpoint.
 type ContainerState struct {
@@ -39,6 +40,11 @@ type Checkpoint struct {
 	MeterSeen      int              `json:"meter_seen"`
 	ContainersSeen int              `json:"containers_seen"`
 	Live           []ContainerState `json:"live"`
+
+	// Hierarchy roll-up cursors, indexed by registration order (absent on
+	// flat runs).
+	SvcLast []float64 `json:"svc_last,omitempty"`
+	TenLast []float64 `json:"ten_last,omitempty"`
 
 	Measured   *stats.RingState `json:"measured,omitempty"`
 	Attributed stats.RingState  `json:"attributed"`
@@ -92,6 +98,12 @@ func (e *Engine) Checkpoint() *Checkpoint {
 	}
 	for _, cc := range e.live {
 		cp.Live = append(cp.Live, ContainerState{ID: cc.c.ID, LastJ: cc.lastJ, LastCPU: cc.lastCPU})
+	}
+	if len(e.svcLast) > 0 {
+		cp.SvcLast = append([]float64(nil), e.svcLast...)
+	}
+	if len(e.tenLast) > 0 {
+		cp.TenLast = append([]float64(nil), e.tenLast...)
 	}
 	if len(e.pairs) > 0 {
 		cp.Pairs = append([]model.CalSample(nil), e.pairs...)
@@ -179,11 +191,27 @@ func (e *Engine) restore(cp *Checkpoint) error {
 		i++
 	}
 
+	// Hierarchy cursors resolve against the rebuilt facility's hierarchy:
+	// the checkpointed run cannot have seen more services or tenants than
+	// the replayed machine has registered by now.
+	h := e.src.Fac.Hierarchy()
+	if len(cp.SvcLast) > 0 || len(cp.TenLast) > 0 {
+		if h == nil {
+			return fmt.Errorf("stream: checkpoint carries hierarchy cursors but the facility has no hierarchy")
+		}
+		if len(cp.SvcLast) > h.NumServices() || len(cp.TenLast) > h.NumTenants() {
+			return fmt.Errorf("stream: checkpoint saw %d services / %d tenants, hierarchy has %d / %d",
+				len(cp.SvcLast), len(cp.TenLast), h.NumServices(), h.NumTenants())
+		}
+	}
+
 	e.records = cp.Records
 	e.cumJ = cp.CumJ
 	e.meterSeen = cp.MeterSeen
 	e.containersSeen = cp.ContainersSeen
 	e.live = live
+	e.svcLast = append(e.svcLast[:0], cp.SvcLast...)
+	e.tenLast = append(e.tenLast[:0], cp.TenLast...)
 	e.attributed = att
 	e.modeled = mod
 	e.measured = meas

@@ -104,7 +104,10 @@ func TestDecodeCheckpointValidates(t *testing.T) {
 	if _, err := stream.DecodeCheckpoint([]byte(`{"version":99}`)); err == nil {
 		t.Fatal("future version accepted")
 	}
-	if _, err := stream.DecodeCheckpoint([]byte(`{"version":1,"tick":-1}`)); err == nil {
+	if _, err := stream.DecodeCheckpoint([]byte(`{"version":1}`)); err == nil {
+		t.Fatal("superseded version accepted")
+	}
+	if _, err := stream.DecodeCheckpoint([]byte(`{"version":2,"tick":-1}`)); err == nil {
 		t.Fatal("negative tick accepted")
 	}
 }

@@ -16,20 +16,31 @@ const (
 	// KindContainer is a per-container attribution delta for one tick.
 	KindContainer Kind = iota
 	// KindSystem is the per-tick system summary record, emitted after
-	// the tick's container records.
+	// the tick's container, service and tenant records.
 	KindSystem
+	// KindService is a per-service roll-up delta for one tick, emitted
+	// only when the source facility has a hierarchy attached.
+	KindService
+	// KindTenant is a per-tenant roll-up delta for one tick, emitted
+	// only when the source facility has a hierarchy attached.
+	KindTenant
 )
 
 // Record is one element of the engine's output stream. Container records
 // report the energy attributed to one container during the tick (emitted
 // only for containers with activity, plus a final Done record at
-// release); the system record summarizes the tick.
+// release); service and tenant records report the hierarchy roll-up
+// deltas over the same tick (hierarchy mode only); the system record
+// summarizes the tick.
 type Record struct {
 	Tick int
 	T    sim.Time
 	Kind Kind
 
-	// Container fields.
+	// Container fields (service/tenant records reuse ID, Label, Client
+	// and the power/energy trio: a service's Label is its qualified
+	// "tenant/service" name with Client naming the tenant; a tenant
+	// record's Label is the tenant name).
 	ID         int
 	Label      string
 	Client     string
@@ -78,6 +89,28 @@ func AppendRecord(dst []byte, r Record) []byte {
 		} else {
 			dst = append(dst, '0')
 		}
+	case KindService:
+		dst = append(dst, 'v')
+		dst = appendInt(dst, int64(r.Tick))
+		dst = appendInt(dst, int64(r.T))
+		dst = appendInt(dst, int64(r.ID))
+		dst = append(dst, ',')
+		dst = strconv.AppendQuote(dst, r.Label)
+		dst = append(dst, ',')
+		dst = strconv.AppendQuote(dst, r.Client)
+		dst = appendFloat(dst, r.PowerW)
+		dst = appendFloat(dst, r.EnergyJ)
+		dst = appendFloat(dst, r.CumEnergyJ)
+	case KindTenant:
+		dst = append(dst, 't')
+		dst = appendInt(dst, int64(r.Tick))
+		dst = appendInt(dst, int64(r.T))
+		dst = appendInt(dst, int64(r.ID))
+		dst = append(dst, ',')
+		dst = strconv.AppendQuote(dst, r.Label)
+		dst = appendFloat(dst, r.PowerW)
+		dst = appendFloat(dst, r.EnergyJ)
+		dst = appendFloat(dst, r.CumEnergyJ)
 	case KindSystem:
 		dst = append(dst, 's')
 		dst = appendInt(dst, int64(r.Tick))

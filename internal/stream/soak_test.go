@@ -1,6 +1,7 @@
 package stream_test
 
 import (
+	"strings"
 	"testing"
 
 	"powercontainers/internal/core"
@@ -14,7 +15,10 @@ import (
 )
 
 // longBed deploys a GAE machine with an open loop running to the given
-// horizon — the soak/bench variant of deployBed.
+// horizon — the soak/bench variant of deployBed. Every request is filed
+// under a tenant/service derived from its type, so the soak exercises
+// the hierarchy record path and (under PC_AUDIT=1) the conservation
+// checker alongside the flat machinery.
 func longBed(tb testing.TB, seed uint64, until sim.Time) testbed {
 	tb.Helper()
 	m, err := experiments.Assembly{}.NewMachine(cpu.SandyBridge, core.ApproachRecalibrated, seed)
@@ -23,6 +27,13 @@ func longBed(tb testing.TB, seed uint64, until sim.Time) testbed {
 	}
 	dep := workload.GAE{}.Deploy(m.K, m.Rng.Fork(11))
 	gen := server.NewLoadGen(m.K, m.Fac, dep)
+	m.Fac.AttachHierarchy(core.NewHierarchy())
+	gen.ServiceFor = func(reqType string) (string, string) {
+		if i := strings.IndexByte(reqType, '/'); i >= 0 {
+			return reqType[:i], reqType[i+1:]
+		}
+		return "misc", reqType
+	}
 	gen.RunOpenLoop(0.4*experiments.PeakRate(m.K.Spec, dep), until, m.Rng.Fork(13))
 	return testbed{m: m, gen: gen, t1: until}
 }
@@ -41,10 +52,13 @@ func TestStreamSoak(t *testing.T) {
 	e := stream.New(stream.Sources{Eng: bed.m.Eng, Fac: bed.m.Fac, Meter: bed.m.Chip, Scope: model.ScopePackage},
 		stream.Config{Tick: 100 * sim.Millisecond, CheckpointEvery: 50})
 	e.Audit = probe
-	done := 0
+	done, tenantRecs := 0, 0
 	e.Sink = stream.Tee{hasher, sinkFunc(func(r stream.Record) {
 		if r.Kind == stream.KindContainer && r.Done {
 			done++
+		}
+		if r.Kind == stream.KindTenant {
+			tenantRecs++
 		}
 	})}
 	e.RunUntil(horizon)
@@ -61,6 +75,14 @@ func TestStreamSoak(t *testing.T) {
 	}
 	if hasher.Count() == 0 || done == 0 {
 		t.Fatalf("soak emitted %d records with %d container retirements", hasher.Count(), done)
+	}
+	if tenantRecs == 0 {
+		t.Fatal("hierarchical soak emitted no tenant records")
+	}
+	// Under PC_AUDIT=1 this runs the hierarchy conservation checker over
+	// the whole soak; without an auditor it is a no-op.
+	if err := bed.m.FinalizeAudit(); err != nil {
+		t.Fatalf("end-of-soak audit: %v", err)
 	}
 	// The engine stayed within its configured memory bounds.
 	if got, bound := e.DriftWindow(), e.Config().DriftWindow; len(got) > bound {

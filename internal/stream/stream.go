@@ -160,6 +160,13 @@ type Engine struct {
 	live           []*contCursor // creation order; released entries removed
 	attributed     *stats.Ring   // per tick: attributed joules
 
+	// Hierarchy cursors: last observed cumulative energy per service and
+	// per tenant, indexed by registration order (Service.Index and
+	// Tenant.Index). Empty on flat runs, whose streams therefore stay
+	// byte-identical to pre-hierarchy builds.
+	svcLast []float64
+	tenLast []float64
+
 	modeled  *stats.Ring // per metric bucket: modeled active watts
 	mpCursor *model.MetricCursor
 	mpCoeff  model.Coefficients
@@ -322,6 +329,13 @@ func (e *Engine) step() {
 	e.live = keep
 	e.attributed.Append(tickJ)
 
+	// Hierarchy roll-up records: per-service then per-tenant deltas over
+	// the same tick, mirroring the container scan. Flat runs skip this
+	// entirely — no hierarchy, no records, byte-identical stream.
+	if h := fac.Hierarchy(); h != nil {
+		e.emitHierarchy(h, t)
+	}
+
 	// Modeled-power cache: recompute only buckets at or above this
 	// engine's own dirty cursor (late writes reach back), from scratch on
 	// coefficient change — the recalibrator's cache policy, on an
@@ -350,6 +364,55 @@ func (e *Engine) step() {
 	}
 	if e.cfg.CheckpointEvery > 0 && e.tick%e.cfg.CheckpointEvery == 0 {
 		e.lastCP = e.Checkpoint()
+	}
+}
+
+// emitHierarchy walks the hierarchy's services and tenants in
+// registration order, adopting nodes born since the last tick and
+// emitting a record for every node whose cumulative energy moved. The
+// cumulative values are the incremental accumulators (charged in
+// simulation order) — the same view enforcement reads — so the streamed
+// per-tenant ledger reconciles with the container records it aggregates.
+func (e *Engine) emitHierarchy(h *core.Hierarchy, t sim.Time) {
+	for len(e.svcLast) < h.NumServices() {
+		e.svcLast = append(e.svcLast, 0)
+	}
+	for i := range e.svcLast {
+		s := h.ServiceAt(i)
+		j := s.Usage().EnergyJ()
+		delta := j - e.svcLast[i]
+		//pclint:allow floatsafe exact-zero fast path: an idle service contributes no record
+		if delta != 0 {
+			e.emit(Record{
+				Tick: e.tick, T: t, Kind: KindService,
+				ID: s.Index, Label: s.Qualified(), Client: s.Tenant.Name,
+				//pclint:allow floatsafe tickSeconds is positive: withDefaults forces cfg.Tick > 0
+				PowerW:     delta / e.tickSeconds(),
+				EnergyJ:    delta,
+				CumEnergyJ: j,
+			})
+		}
+		e.svcLast[i] = j
+	}
+	for len(e.tenLast) < h.NumTenants() {
+		e.tenLast = append(e.tenLast, 0)
+	}
+	for i := range e.tenLast {
+		ten := h.TenantAt(i)
+		j := ten.Usage().EnergyJ()
+		delta := j - e.tenLast[i]
+		//pclint:allow floatsafe exact-zero fast path: an idle tenant contributes no record
+		if delta != 0 {
+			e.emit(Record{
+				Tick: e.tick, T: t, Kind: KindTenant,
+				ID: ten.Index, Label: ten.Name,
+				//pclint:allow floatsafe tickSeconds is positive: withDefaults forces cfg.Tick > 0
+				PowerW:     delta / e.tickSeconds(),
+				EnergyJ:    delta,
+				CumEnergyJ: j,
+			})
+		}
+		e.tenLast[i] = j
 	}
 }
 
