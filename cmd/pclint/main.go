@@ -1,6 +1,9 @@
 // Command pclint runs the repo's custom analyzer suite (detlint, maporder,
-// hooklint, floatsafe) over Go packages. It speaks the `go vet -vettool`
-// unitchecker protocol, so the canonical invocations are:
+// hooklint, floatsafe, unitsafe, seedflow, hotalloc) over Go packages. It
+// speaks the `go vet -vettool` unitchecker protocol — including the
+// cross-package fact files (vetx) that carry unit overrides, seed
+// provenance summaries, and allocation summaries between compilation
+// units — so the canonical invocations are:
 //
 //	go build -o bin/pclint ./cmd/pclint
 //	go vet -vettool=$PWD/bin/pclint ./...
@@ -14,7 +17,9 @@
 //
 //	//pclint:allow <analyzer> <reason>
 //
-// on the offending line or the line immediately above.
+// on the offending line or the line immediately above. A directive that
+// suppresses nothing is itself reported stale, so dead annotations cannot
+// accumulate.
 package main
 
 import (
@@ -98,7 +103,7 @@ func printVersion() int {
 }
 
 func usage(suite []*analysis.Analyzer) {
-	fmt.Fprintf(os.Stderr, "pclint enforces the repo's determinism, hook-seam, and numeric-safety invariants.\n\n")
+	fmt.Fprintf(os.Stderr, "pclint enforces the repo's determinism, hook-seam, numeric-safety,\nunit-dimension, seed-provenance, and hotpath-allocation invariants.\n\n")
 	fmt.Fprintf(os.Stderr, "usage:\n  pclint ./...                 # lint package patterns (delegates to go vet)\n")
 	fmt.Fprintf(os.Stderr, "  go vet -vettool=pclint ./... # explicit vettool form\n\nanalyzers:\n")
 	for _, a := range suite {

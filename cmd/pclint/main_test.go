@@ -97,3 +97,91 @@ func Stamp() time.Time { return time.Now() }
 		t.Errorf("vet output lacks the detlint diagnostic:\n%s", out)
 	}
 }
+
+// TestVetCrossPackageFacts exercises the two-pass facts engine end to end
+// through the real unitchecker protocol: a throwaway multi-package module
+// where every diagnostic in the consumer package depends on a fact
+// exported by a dependency's vetx file — a `// unit:` result override, a
+// seed-parameter summary, and a transitive allocation summary. The go
+// command orders the units and threads the fact files; if the export or
+// import side of the protocol broke, all three diagnostics would vanish.
+func TestVetCrossPackageFacts(t *testing.T) {
+	bin := buildPclint(t)
+	mod := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.22\n",
+		"sim/sim.go": `package sim
+
+type Rand struct{ s uint64 }
+
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+func (r *Rand) Uint64() uint64 { r.s = r.s*6364136223846793005 + 1; return r.s }
+`,
+		"runner/runner.go": `package runner
+
+func SeedFor(base, key uint64) uint64 { return base ^ key*0x9e3779b97f4a7c15 }
+`,
+		// power exports the facts: a result-unit override, a seed-param
+		// summary, and an allocation summary.
+		"power/power.go": `package power
+
+import "tmpmod/sim"
+
+// Drain returns the energy drained over the window.
+// unit: J
+func Drain() float64 { return 42 }
+
+// MakeRand seeds a generator; its parameter becomes a caller obligation.
+func MakeRand(seed uint64) *sim.Rand { return sim.NewRand(seed) }
+
+// Fill appends a record; hot-path callers inherit the allocation.
+func Fill(dst []float64) []float64 { return append(dst, 1) }
+`,
+		// core consumes them; every diagnostic here needs imported facts.
+		"core/core.go": `package core
+
+import (
+	"tmpmod/power"
+	"tmpmod/sim"
+)
+
+func Mix(freqHz float64) float64 {
+	return power.Drain() + freqHz
+}
+
+func Spin() *sim.Rand {
+	return power.MakeRand(99)
+}
+
+//pclint:hotpath
+func Hot(dst []float64) []float64 {
+	return power.Fill(dst)
+}
+`,
+	}
+	for name, src := range files {
+		path := filepath.Join(mod, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed over the cross-package fixture:\n%s", out)
+	}
+	for _, want := range []string{
+		`unit mismatch: mixing J and Hz`,
+		`seed provenance: seed parameter seed of MakeRand does not trace`,
+		`hotpath Hot: call to Fill which allocates`,
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("vet output lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -24,13 +24,18 @@ import (
 	"powercontainers/internal/workload"
 )
 
+// The -seed flag is the run's registered base seed: every generator in
+// the simulation derives from it.
+//
+//pclint:seed
+var seed = flag.Uint64("seed", 1, "simulation seed")
+
 func main() {
 	machine := flag.String("machine", "SandyBridge", "machine model")
 	wl := flag.String("workload", "GAE-Hybrid", "workload name")
 	loadFlag := flag.String("load", "half", "load level: peak or half")
 	duration := flag.Duration("duration", 10*time.Second, "virtual run duration")
 	format := flag.String("format", "csv", "output format: csv or json")
-	seed := flag.Uint64("seed", 1, "simulation seed")
 	byClient := flag.Bool("by-client", false, "aggregate usage per client principal instead of per request")
 	clients := flag.Int("clients", 40, "size of the simulated client pool")
 	flag.Parse()

@@ -44,6 +44,12 @@ func main() {
 	}
 }
 
+// baseSeed holds the parsed -seed flag: the stream's registered base
+// seed, from which every generator in the run derives.
+//
+//pclint:seed
+var baseSeed uint64
+
 // lineSink writes each record's canonical line encoding to a writer.
 type lineSink struct {
 	w       *bufio.Writer
@@ -126,7 +132,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	m, err := experiments.NewMachine(spec, ap, *seed)
+	baseSeed = *seed
+	m, err := experiments.NewMachine(spec, ap, baseSeed)
 	if err != nil {
 		return err
 	}

@@ -15,8 +15,13 @@ import (
 	"powercontainers/internal/trace"
 )
 
+// The -seed flag is the run's registered base seed: every generator in
+// the simulation derives from it.
+//
+//pclint:seed
+var seed = flag.Uint64("seed", 1, "simulation seed")
+
 func main() {
-	seed := flag.Uint64("seed", 1, "simulation seed")
 	summary := flag.Bool("summary", false, "print only the run summary via the public API")
 	flag.Parse()
 

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A ScannedAlloc is one allocation site found in a function body.
+type ScannedAlloc struct {
+	Pos  token.Pos
+	Kind string // see AllocSite.Kind
+	Desc string // human description, no position
+}
+
+// AllocScan finds the allocation constructs in a function body that the
+// hotpath discipline forbids: growing appends, make/new, map, slice and
+// pointer composite literals, closures, string concatenation and
+// string<->[]byte conversions, fmt calls, and interface boxing of
+// non-pointer-shaped values.
+//
+// An append dominated by a branch fact mentioning both len and cap of its
+// destination (`if len(buf) < cap(buf) { buf = append(buf, v) }`) is
+// considered non-growing and is not reported: the code proved the
+// capacity is already there.
+func AllocScan(body *ast.BlockStmt, info *types.Info) []ScannedAlloc {
+	var out []ScannedAlloc
+	add := func(pos token.Pos, kind, desc string) {
+		out = append(out, ScannedAlloc{Pos: pos, Kind: kind, Desc: desc})
+	}
+	WalkFuncWithFacts(body, func(n ast.Node, facts []Fact) {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			scanCall(e, facts, info, add)
+		case *ast.CompositeLit:
+			tv, ok := info.Types[e]
+			if !ok {
+				return
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				add(e.Pos(), "maplit", "map literal allocates")
+			case *types.Slice:
+				add(e.Pos(), "slicelit", "slice literal allocates backing array")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					add(e.Pos(), "ptrlit", "&T{...} heap-allocates the struct")
+				}
+			}
+		case *ast.FuncLit:
+			add(e.Pos(), "closure", "closure literal allocates")
+		case *ast.BinaryExpr:
+			if e.Op != token.ADD {
+				return
+			}
+			tv, ok := info.Types[e]
+			if !ok || tv.Value != nil {
+				return // constant-folded
+			}
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+				add(e.Pos(), "concat", "string concatenation allocates")
+			}
+		}
+	})
+	return out
+}
+
+func scanCall(call *ast.CallExpr, facts []Fact, info *types.Info, add func(token.Pos, string, string)) {
+	// Builtins.
+	if id := calleeIdent(call); id != nil {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			switch id.Name {
+			case "append":
+				if len(call.Args) > 0 && appendGuarded(facts, call.Args[0]) {
+					return
+				}
+				add(call.Pos(), "append", "append may grow the backing array (prove capacity with a dominating len/cap check, or preallocate)")
+			case "make":
+				add(call.Pos(), "make", "make allocates")
+			case "new":
+				add(call.Pos(), "new", "new allocates")
+			}
+			return
+		}
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: free except string <-> []byte/[]rune copies.
+		if len(call.Args) == 1 && stringCopyConversion(tv.Type, info.TypeOf(call.Args[0])) {
+			add(call.Pos(), "strconv", fmt.Sprintf("conversion to %s copies its data", tv.Type))
+		}
+		return
+	}
+	if fn := calleeObject(call, info); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		add(call.Pos(), "fmt", fmt.Sprintf("fmt.%s formats through reflection and boxes its operands", fn.Name()))
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	// Interface boxing of non-pointer-shaped arguments.
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if params.Len() == 0 {
+				continue
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		if tv, ok := info.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		add(arg.Pos(), "box", fmt.Sprintf("%s value boxed into interface parameter", at))
+	}
+}
+
+// appendGuarded reports whether a dominating fact mentions both len and
+// cap of the append destination.
+func appendGuarded(facts []Fact, dst ast.Expr) bool {
+	dstStr := types.ExprString(ast.Unparen(dst))
+	for _, f := range facts {
+		var sawLen, sawCap bool
+		ast.Inspect(f.Cond, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if types.ExprString(ast.Unparen(call.Args[0])) != dstStr {
+				return true
+			}
+			switch id.Name {
+			case "len":
+				sawLen = true
+			case "cap":
+				sawCap = true
+			}
+			return true
+		})
+		if sawLen && sawCap {
+			return true
+		}
+	}
+	return false
+}
+
+// pointerShaped reports whether boxing a value of type t into an
+// interface stores the value directly in the interface word (no heap
+// allocation): pointers, channels, maps, and funcs.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func stringCopyConversion(to, from types.Type) bool {
+	if to == nil || from == nil {
+		return false
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return isStr(to) && isByteRuneSlice(from) || isByteRuneSlice(to) && isStr(from)
+}
+
+// calleeIdent returns the identifier a call's Fun resolves through
+// (the final selector for methods/qualified names).
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// CalleeFunc resolves a call to the *types.Func it statically invokes,
+// or nil for dynamic calls, builtins, and conversions.
+func CalleeFunc(call *ast.CallExpr, info *types.Info) *types.Func {
+	return calleeObject(call, info)
+}
+
+// calleeObject resolves a call to the *types.Func it invokes, if static.
+func calleeObject(call *ast.CallExpr, info *types.Info) *types.Func {
+	id := calleeIdent(call)
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

@@ -41,7 +41,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
-	Report    func(Diagnostic)
+	// Facts holds the fact summaries of this package and its
+	// dependencies, gathered in pass 1 (see GatherFacts). Never nil when
+	// run through RunAnalyzers.
+	Facts  *FactStore
+	Report func(Diagnostic)
 }
 
 // Reportf reports a diagnostic at pos, attributed to the pass's analyzer.
@@ -63,9 +67,14 @@ type Diagnostic struct {
 }
 
 // RunAnalyzers executes each analyzer over the package and returns the raw
-// (unsuppressed) diagnostics sorted by position. Analyzer errors are
-// returned combined; diagnostics gathered before an error are kept.
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, suite []*Analyzer) ([]Diagnostic, error) {
+// (unsuppressed) diagnostics sorted by position. facts carries the package's
+// own gathered facts plus its dependencies' (nil is treated as empty).
+// Analyzer errors are returned combined; diagnostics gathered before an
+// error are kept.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactStore, suite []*Analyzer) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var diags []Diagnostic
 	var errs []string
 	for _, a := range suite {
@@ -75,6 +84,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Facts:     facts,
 			Report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -34,8 +34,11 @@ import (
 )
 
 // Run loads testdata/src/<pkg> (relative to the test's working directory,
-// i.e. the analyzer package), runs the analyzer over it, applies the
-// //pclint:allow suppression filter with the full suite's analyzer names,
+// i.e. the analyzer package), gathers facts for it and every sibling
+// fixture package it imports (in dependency order, mirroring the vettool
+// driver), runs the analyzer over it with those facts, applies the
+// //pclint:allow suppression filter with the full suite's analyzer names —
+// including stale-directive detection scoped to the analyzer under test —
 // and compares the surviving diagnostics against the fixture's `// want`
 // expectations.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
@@ -49,11 +52,16 @@ func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 		t.Fatalf("analysistest: load %s: %v", pkg, err)
 	}
 
-	diags, err := analysis.RunAnalyzers(fset, files, typesPkg, info, []*analysis.Analyzer{a})
+	diags, err := analysis.RunAnalyzers(fset, files, typesPkg, info, ld.facts, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("analysistest: run %s on %s: %v", a.Name, pkg, err)
 	}
-	diags = analysis.Filter(fset, files, diags, analysis.KnownSet(pclint.Suite()))
+	g := ld.gathered[pkg]
+	diags = append(diags, g.diags...)
+	// Only the analyzer under test ran, so only its directives can be
+	// judged stale; the real driver passes the whole suite here.
+	ran := func(name string) bool { return name == a.Name }
+	diags = analysis.FilterStale(fset, files, diags, analysis.KnownSet(pclint.Suite()), ran, g.used)
 	checkExpectations(t, fset, files, diags)
 }
 
@@ -166,18 +174,28 @@ func wantPatterns(comment string) ([]*regexp.Regexp, error) {
 // loader type-checks fixture packages, resolving imports first against
 // sibling fixture directories and then against the standard library.
 type loader struct {
-	src     string
-	fset    *token.FileSet
-	pkgs    map[string]*types.Package
-	exports map[string]string // std package path → export data file
-	gcImp   types.Importer
+	src      string
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package
+	exports  map[string]string // std package path → export data file
+	gcImp    types.Importer
+	facts    *analysis.FactStore
+	gathered map[string]gatherResult
+}
+
+// gatherResult is what GatherFacts produced for one fixture package.
+type gatherResult struct {
+	used  map[analysis.DirectiveKey]bool
+	diags []analysis.Diagnostic
 }
 
 func newLoader(src string) (*loader, error) {
 	ld := &loader{
-		src:  src,
-		fset: token.NewFileSet(),
-		pkgs: make(map[string]*types.Package),
+		src:      src,
+		fset:     token.NewFileSet(),
+		pkgs:     make(map[string]*types.Package),
+		facts:    analysis.NewFactStore(),
+		gathered: make(map[string]gatherResult),
 	}
 	stdPaths, err := ld.scanStdImports()
 	if err != nil {
@@ -276,6 +294,13 @@ func (ld *loader) typecheck(path string) (*types.Package, []*ast.File, *types.In
 		return nil, nil, nil, err
 	}
 	ld.pkgs[path] = pkg
+	// Import recursion type-checks dependencies before their importers,
+	// so gathering here sees every dependency's facts already in the
+	// store — the same order the vettool driver gets from the build
+	// system.
+	facts, used, gdiags := analysis.GatherFacts(ld.fset, files, pkg, info, ld.facts)
+	ld.facts.Add(facts)
+	ld.gathered[path] = gatherResult{used: used, diags: gdiags}
 	return pkg, files, info, nil
 }
 

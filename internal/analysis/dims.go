@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Unit is a physical dimension in the repo's quantity vocabulary, tracked
+// as integer exponents over three bases — energy (J), time (Seconds),
+// event counts (Cycles) — plus a decimal scale exponent that separates
+// same-dimension units of different magnitude (mJ vs J).
+//
+// The derived suffixes resolve as:
+//
+//	W  = J/Seconds        (energy rate)
+//	Hz = Cycles/Seconds   (event rate)
+//	mJ = J × 10⁻³
+//
+// The zero Unit is dimensionless: untyped constants and unsuffixed scalars
+// multiply freely without changing a quantity's dimension.
+type Unit struct {
+	Energy int // exponent of J
+	Time   int // exponent of Seconds
+	Count  int // exponent of Cycles
+	Scale  int // decimal exponent relative to the base unit (mJ = -3)
+}
+
+// Dimensionless reports whether the unit is the neutral scalar unit.
+func (u Unit) Dimensionless() bool { return u == Unit{} }
+
+// Mul returns the unit of a product of quantities.
+func (u Unit) Mul(v Unit) Unit {
+	return Unit{u.Energy + v.Energy, u.Time + v.Time, u.Count + v.Count, u.Scale + v.Scale}
+}
+
+// Div returns the unit of a quotient of quantities.
+func (u Unit) Div(v Unit) Unit {
+	return Unit{u.Energy - v.Energy, u.Time - v.Time, u.Count - v.Count, u.Scale - v.Scale}
+}
+
+// baseUnits maps each suffix of the grammar to its resolved dimension.
+var baseUnits = map[string]Unit{
+	"J":       {Energy: 1},
+	"mJ":      {Energy: 1, Scale: -3},
+	"W":       {Energy: 1, Time: -1},
+	"Seconds": {Time: 1},
+	"Cycles":  {Count: 1},
+	"Hz":      {Count: 1, Time: -1},
+}
+
+// String renders the unit with the grammar's names where possible
+// (J, mJ, W, Seconds, Cycles, Hz) and as an explicit product otherwise.
+func (u Unit) String() string {
+	for name, base := range baseUnits {
+		if u == base {
+			return name
+		}
+	}
+	if u.Dimensionless() {
+		return "dimensionless"
+	}
+	// Prefer a W- or Hz-based spelling when the time exponent is absorbed
+	// by a rate unit (e.g. W*Seconds^... forms read better than J*...).
+	var parts []string
+	add := func(name string, exp int) {
+		switch {
+		case exp == 0:
+		case exp == 1:
+			parts = append(parts, name)
+		default:
+			parts = append(parts, fmt.Sprintf("%s^%d", name, exp))
+		}
+	}
+	add("J", u.Energy)
+	add("Seconds", u.Time)
+	add("Cycles", u.Count)
+	if u.Scale != 0 {
+		parts = append(parts, fmt.Sprintf("x10^%d", u.Scale))
+	}
+	if len(parts) == 0 {
+		return "dimensionless"
+	}
+	return strings.Join(parts, "*")
+}
+
+// unitSuffixes is the grammar in longest-match-first order. "mJ" must be
+// tried before "J" so that an explicit milli suffix wins where it applies.
+var unitSuffixes = []string{"Cycles", "Seconds", "mJ", "Hz", "W", "J"}
+
+// UnitFromName infers a declaration's unit from the trailing suffix of its
+// identifier, per the repo naming convention (EnergyJ, powerW, tickSeconds,
+// elapsedCycles, FreqHz). A suffix only matches at a word boundary: the
+// character before it must be a lowercase letter, a digit, or an
+// underscore (so GHz — a scaled unit — and SandyBridge stay unitless, and
+// acronym tails like "...MW" are not misread).
+//
+// The "mJ" suffix is stricter: because English words ending in 'm'
+// (cumJ = *cumulative* joules) collide with a lowercase boundary, mJ is
+// recognized only after an underscore or at the start of the name
+// (energy_mJ, mJ). Everything else spells milli-joules with an explicit
+// `// unit: mJ` override.
+func UnitFromName(name string) (Unit, bool) {
+	for _, suf := range unitSuffixes {
+		if !strings.HasSuffix(name, suf) {
+			continue
+		}
+		if len(name) == len(suf) {
+			// A bare "J"/"W"/"Seconds"/... identifier is its unit.
+			return baseUnits[suf], true
+		}
+		b := name[len(name)-len(suf)-1]
+		if suf == "mJ" {
+			if b == '_' {
+				return baseUnits[suf], true
+			}
+			continue
+		}
+		if b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' {
+			return baseUnits[suf], true
+		}
+	}
+	return Unit{}, false
+}
+
+// ParseUnit parses the argument of a `// unit:` override: a single suffix
+// name, a product/quotient of them ("W*Seconds", "J/Seconds"), "1" for an
+// explicit dimensionless quantity, or "none" to opt an unfortunately
+// suffixed identifier out of unit checking entirely.
+//
+// The second result distinguishes "none" (false: no unit, stop inferring)
+// from a real unit (true).
+func ParseUnit(s string) (Unit, bool, error) {
+	s = strings.TrimSpace(s)
+	if s == "none" {
+		return Unit{}, false, nil
+	}
+	u := Unit{}
+	rest := s
+	div := false
+	for rest != "" {
+		i := strings.IndexAny(rest, "*/")
+		var tok string
+		if i < 0 {
+			tok, rest = rest, ""
+		} else {
+			tok = rest[:i]
+		}
+		tok = strings.TrimSpace(tok)
+		base, ok := baseUnits[tok]
+		if !ok && tok != "1" {
+			return Unit{}, false, fmt.Errorf("unknown unit %q (want J, mJ, W, Seconds, Cycles, Hz, 1, or none)", tok)
+		}
+		if div {
+			u = u.Div(base)
+		} else {
+			u = u.Mul(base)
+		}
+		if i >= 0 {
+			div = rest[i] == '/'
+			rest = rest[i+1:]
+			if strings.TrimSpace(rest) == "" {
+				return Unit{}, false, fmt.Errorf("trailing operator in unit %q", s)
+			}
+		}
+	}
+	return u, true, nil
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import "testing"
+
+func TestUnitFromName(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+		ok   bool
+	}{
+		{"EnergyJ", "J", true},
+		{"totalJ", "J", true},
+		{"powerW", "W", true},
+		{"BudgetW", "W", true},
+		{"tickSeconds", "Seconds", true},
+		{"elapsedCycles", "Cycles", true},
+		{"FreqHz", "Hz", true},
+		{"J", "J", true},
+		{"W", "W", true},
+		{"energy_mJ", "mJ", true},
+		{"mJ", "mJ", true},
+		{"x2J", "J", true},
+		// Boundary rules: uppercase boundaries and acronym tails do not
+		// match, and 'm'-ending words are cumulative joules, not milli.
+		{"GHz", "", false},
+		{"SandyBridge", "", false},
+		{"cumJ", "J", true}, // ...mJ needs an underscore; plain J applies
+		{"CumJ", "J", true},
+		{"MW", "", false},
+		{"Raw", "", false},
+		{"seconds", "", false}, // lowercase: not the suffix grammar
+		{"count", "", false},
+	}
+	for _, c := range cases {
+		u, ok := UnitFromName(c.name)
+		if ok != c.ok {
+			t.Errorf("UnitFromName(%q) ok = %v, want %v", c.name, ok, c.ok)
+			continue
+		}
+		if ok && u.String() != c.want {
+			t.Errorf("UnitFromName(%q) = %s, want %s", c.name, u, c.want)
+		}
+	}
+}
+
+func TestUnitAlgebra(t *testing.T) {
+	J := baseUnits["J"]
+	W := baseUnits["W"]
+	s := baseUnits["Seconds"]
+	hz := baseUnits["Hz"]
+	cyc := baseUnits["Cycles"]
+	if got := J.Div(s); got != W {
+		t.Errorf("J/Seconds = %s, want W", got)
+	}
+	if got := W.Mul(s); got != J {
+		t.Errorf("W*Seconds = %s, want J", got)
+	}
+	if got := cyc.Div(s); got != hz {
+		t.Errorf("Cycles/Seconds = %s, want Hz", got)
+	}
+	if got := J.Div(J); !got.Dimensionless() {
+		t.Errorf("J/J = %s, want dimensionless", got)
+	}
+	mJ := baseUnits["mJ"]
+	if mJ == J {
+		t.Error("mJ must differ from J by scale")
+	}
+}
+
+func TestParseUnit(t *testing.T) {
+	for _, c := range []struct {
+		in     string
+		want   string
+		isUnit bool
+		err    bool
+	}{
+		{"J", "J", true, false},
+		{"W*Seconds", "J", true, false},
+		{"J/Seconds", "W", true, false},
+		{"Cycles/Seconds", "Hz", true, false},
+		{"1", "dimensionless", true, false},
+		{"none", "", false, false},
+		{"furlongs", "", false, true},
+		{"J/", "", false, true},
+	} {
+		u, isUnit, err := ParseUnit(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseUnit(%q) err = %v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if isUnit != c.isUnit {
+			t.Errorf("ParseUnit(%q) isUnit = %v, want %v", c.in, isUnit, c.isUnit)
+		}
+		if isUnit && u.String() != c.want {
+			t.Errorf("ParseUnit(%q) = %s, want %s", c.in, u, c.want)
+		}
+	}
+}

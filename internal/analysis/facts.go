@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"strings"
+)
+
+// FactsVersion guards the serialized fact format. A vetx file written by a
+// different pclint build is never read: the go command invalidates vet
+// caches whenever the tool binary changes (the -V=full handshake hashes
+// the executable), so a version mismatch can only mean a foreign file —
+// it is treated as empty.
+const FactsVersion = 1
+
+// An AllocSite is one allocation a function performs on some path,
+// recorded in its fact summary so that hotalloc can flag calls to
+// allocating functions from //pclint:hotpath code across package
+// boundaries.
+type AllocSite struct {
+	// Kind classifies the allocation: append, make, new, maplit,
+	// slicelit, ptrlit, closure, concat, strconv, box, fmt, call.
+	Kind string
+	// What is a short human description including the position
+	// (file:line) of the site, or — for Kind "call" — the callee and
+	// its representative allocation.
+	What string
+}
+
+// A FuncFact summarizes one function declaration for cross-package
+// (and cross-function) reasoning.
+type FuncFact struct {
+	// Hotpath records a //pclint:hotpath mark on the declaration.
+	Hotpath bool `json:",omitempty"`
+	// Allocs holds representative allocation sites (capped; empty means
+	// the function was proven allocation-free by the scanner, modulo the
+	// scanner's documented approximations). Sites individually waived
+	// with //pclint:allow hotalloc <reason> are excluded: the waiver
+	// vouches for the whole call chain above them.
+	Allocs []AllocSite `json:",omitempty"`
+	// SeedParams lists the indices of integer parameters that flow into
+	// an RNG seed position (sim.NewRand, runner.SeedFor's base, or a
+	// seed parameter of another function). Callers must pass
+	// provenance-checked seed expressions there.
+	SeedParams []int `json:",omitempty"`
+	// SeedSource marks functions whose result is itself a well-derived
+	// seed (a return value tracing to runner.SeedFor or a fork of a
+	// seed), so their calls satisfy seedflow at the use site.
+	SeedSource bool `json:",omitempty"`
+	// NilCheckParam is the index of a parameter the function proves
+	// non-nil when it returns true (a `return p != nil` predicate
+	// helper), or -1. hooklint accepts `if helper(h) { ... }` as a nil
+	// guard on h through this fact.
+	NilCheckParam int `json:",omitempty"`
+}
+
+// PackageFacts is the fact set pclint exports for one package: the
+// cross-package half of the two-pass analysis. It is serialized into the
+// unitchecker protocol's vetx files and imported by dependent units.
+type PackageFacts struct {
+	Version int
+	// Path is the package's normalized import path.
+	Path string
+	// Units maps declaration keys (see objKey) to `// unit:` override
+	// strings — "none" opts a declaration out of unit inference.
+	// Suffix-derived units are not recorded: consumers re-derive them
+	// from the declaration names, which travel in export data.
+	Units map[string]string `json:",omitempty"`
+	// Funcs maps function keys (Name or Recv.Name) to summaries.
+	Funcs map[string]FuncFact `json:",omitempty"`
+	// SeedConsts names package-level constants and variables registered
+	// as experiment seed roots with a //pclint:seed directive.
+	SeedConsts map[string]bool `json:",omitempty"`
+}
+
+// NewPackageFacts returns an empty fact set for a package path.
+func NewPackageFacts(path string) *PackageFacts {
+	return &PackageFacts{
+		Version:    FactsVersion,
+		Path:       NormalizePkgPath(path),
+		Units:      map[string]string{},
+		Funcs:      map[string]FuncFact{},
+		SeedConsts: map[string]bool{},
+	}
+}
+
+// Encode serializes the facts for a vetx file.
+func (f *PackageFacts) Encode() ([]byte, error) { return json.Marshal(f) }
+
+// DecodePackageFacts parses a vetx fact file. Empty data (the fact file of
+// a package outside the module) and foreign formats decode to nil facts
+// without error.
+func DecodePackageFacts(data []byte) (*PackageFacts, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	f := new(PackageFacts)
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, nil // foreign vetx format: ignore
+	}
+	if f.Version != FactsVersion {
+		return nil, nil
+	}
+	return f, nil
+}
+
+// A FactStore holds the facts of every package visible to one analysis
+// unit: its dependencies' imported facts plus the unit's own, added by the
+// gatherer before analyzers run.
+type FactStore struct {
+	pkgs map[string]*PackageFacts
+}
+
+// NewFactStore returns an empty store.
+func NewFactStore() *FactStore { return &FactStore{pkgs: map[string]*PackageFacts{}} }
+
+// Add registers a package's facts (nil is ignored).
+func (s *FactStore) Add(f *PackageFacts) {
+	if f == nil {
+		return
+	}
+	s.pkgs[NormalizePkgPath(f.Path)] = f
+}
+
+// Pkg returns the facts for a package path, or nil.
+func (s *FactStore) Pkg(path string) *PackageFacts {
+	if s == nil {
+		return nil
+	}
+	return s.pkgs[NormalizePkgPath(path)]
+}
+
+// FuncFact returns the summary for a function object, if any.
+func (s *FactStore) FuncFact(fn *types.Func) (FuncFact, bool) {
+	if s == nil || fn == nil || fn.Pkg() == nil {
+		return FuncFact{}, false
+	}
+	pf := s.Pkg(fn.Pkg().Path())
+	if pf == nil {
+		return FuncFact{}, false
+	}
+	ff, ok := pf.Funcs[FuncKey(fn)]
+	return ff, ok
+}
+
+// SeedConst reports whether obj is a registered experiment seed root.
+func (s *FactStore) SeedConst(obj types.Object) bool {
+	if s == nil || obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	pf := s.Pkg(obj.Pkg().Path())
+	return pf != nil && pf.SeedConsts[obj.Name()]
+}
+
+// UnitOverride resolves a `// unit:` override for a declaration key in a
+// package. The second result reports whether an override exists; when it
+// does, the bool result of ParseUnit semantics applies: ok=false means
+// the declaration is opted out of unit inference ("none").
+func (s *FactStore) UnitOverride(pkgPath, key string) (u Unit, isUnit, present bool) {
+	if s == nil {
+		return Unit{}, false, false
+	}
+	pf := s.Pkg(pkgPath)
+	if pf == nil {
+		return Unit{}, false, false
+	}
+	spec, ok := pf.Units[key]
+	if !ok {
+		return Unit{}, false, false
+	}
+	u, isUnit, err := ParseUnit(spec)
+	if err != nil {
+		return Unit{}, false, false
+	}
+	return u, isUnit, true
+}
+
+// FuncKey returns the stable per-package key for a function or method:
+// "Name" for package-level functions, "Recv.Name" for methods (pointer
+// receivers and type parameters are stripped).
+func FuncKey(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return fn.Name()
+	}
+	return recvTypeName(sig.Recv().Type()) + "." + fn.Name()
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return "?"
+}
+
+// ParamKey and ResultKey address a function's parameters and results in
+// the Units override map.
+func ParamKey(funcKey string, i int) string  { return fmt.Sprintf("%s#p%d", funcKey, i) }
+func ResultKey(funcKey string, i int) string { return fmt.Sprintf("%s#r%d", funcKey, i) }
+
+// FieldKey addresses a struct field by its owner type's name.
+func FieldKey(typeName, field string) string { return typeName + "." + field }
+
+// NamedTypeName returns the name of the (possibly pointer-wrapped) named
+// type of t, or "".
+func NamedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch t := t.(type) {
+	case *types.Named:
+		return t.Obj().Name()
+	case *types.Alias:
+		return t.Obj().Name()
+	}
+	return ""
+}
+
+// pkgLastSegment returns the final path segment of a package path, the
+// form analyzers use for scope and intrinsic matching.
+func pkgLastSegment(path string) string {
+	path = NormalizePkgPath(path)
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

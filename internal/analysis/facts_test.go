@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPackageFactsRoundTrip(t *testing.T) {
+	f := NewPackageFacts("powercontainers/internal/power")
+	f.Units["BudgetW"] = "W"
+	f.Units[ResultKey("Drain", 0)] = "J"
+	f.Units[FieldKey("Reading", "Level")] = "none"
+	f.Funcs["Drain"] = FuncFact{Allocs: []AllocSite{{Kind: "make", What: "make allocates at power.go:10"}}, NilCheckParam: -1}
+	f.Funcs["SeedOf"] = FuncFact{SeedParams: []int{0}, SeedSource: true, NilCheckParam: -1}
+	f.Funcs["Ring.Push"] = FuncFact{Hotpath: true, NilCheckParam: 0}
+	f.SeedConsts["BaseSeed"] = true
+
+	data, err := f.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePackageFacts(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("round trip decoded to nil")
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Errorf("round trip mismatch:\n  in:  %+v\n  out: %+v", f, got)
+	}
+}
+
+func TestDecodePackageFactsForeign(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, []byte("not json"), []byte(`{"Version": 99, "Path": "x"}`)} {
+		got, err := DecodePackageFacts(data)
+		if err != nil || got != nil {
+			t.Errorf("DecodePackageFacts(%q) = %v, %v; want nil, nil", data, got, err)
+		}
+	}
+}
+
+func TestFactStoreNormalizesTestVariants(t *testing.T) {
+	s := NewFactStore()
+	f := NewPackageFacts("powercontainers/internal/power")
+	f.SeedConsts["BaseSeed"] = true
+	s.Add(f)
+	if s.Pkg("powercontainers/internal/power [powercontainers/internal/power.test]") == nil {
+		t.Error("test-variant path did not resolve to the package's facts")
+	}
+	if s.Pkg("powercontainers/internal/power.test") == nil {
+		t.Error(".test path did not resolve")
+	}
+	if s.Pkg("powercontainers/internal/other") != nil {
+		t.Error("unrelated path resolved")
+	}
+}

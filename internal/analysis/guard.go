@@ -53,6 +53,17 @@ func WalkWithFacts(file *ast.File, visit func(n ast.Node, facts []Fact)) {
 	}
 }
 
+// WalkFuncWithFacts traverses a single function body with branch-fact
+// tracking, for callers (the fact gatherer, hotalloc) that reason about
+// one declaration at a time rather than a whole file.
+func WalkFuncWithFacts(body *ast.BlockStmt, visit func(n ast.Node, facts []Fact)) {
+	if body == nil {
+		return
+	}
+	w := &factWalker{visit: visit}
+	w.stmt(body)
+}
+
 type factWalker struct {
 	visit func(ast.Node, []Fact)
 	facts []Fact
@@ -293,25 +304,43 @@ func reassignsCondVar(b *ast.BlockStmt, cond ast.Expr) bool {
 // printed form is exprStr is non-nil: a positive conjunct `expr != nil`,
 // or the negation of a disjunct `expr == nil`.
 func NilGuarded(facts []Fact, exprStr string) bool {
+	return NilGuardedBy(facts, exprStr, nil)
+}
+
+// NilGuardedBy is NilGuarded extended with nil-check predicate helpers:
+// when proves is non-nil, a positive fact `helper(..., expr, ...)` also
+// establishes expr non-nil if proves(call) returns the argument index the
+// helper vouches for (the helper's NilCheckParam fact). This lets a guard
+// routed through `if hookOK(h) { h.Emit(...) }` count, across packages.
+func NilGuardedBy(facts []Fact, exprStr string, proves func(call *ast.CallExpr) (int, bool)) bool {
 	for _, f := range facts {
-		if factEstablishesNonNil(f.Cond, f.Negated, exprStr) {
+		if factEstablishesNonNil(f.Cond, f.Negated, exprStr, proves) {
 			return true
 		}
 	}
 	return false
 }
 
-func factEstablishesNonNil(cond ast.Expr, negated bool, exprStr string) bool {
+func factEstablishesNonNil(cond ast.Expr, negated bool, exprStr string, proves func(*ast.CallExpr) (int, bool)) bool {
 	cond = ast.Unparen(cond)
+	if ue, ok := cond.(*ast.UnaryExpr); ok && ue.Op == token.NOT {
+		return factEstablishesNonNil(ue.X, !negated, exprStr, proves)
+	}
+	if call, ok := cond.(*ast.CallExpr); ok && !negated && proves != nil {
+		if i, ok := proves(call); ok && i >= 0 && i < len(call.Args) {
+			return types.ExprString(ast.Unparen(call.Args[i])) == exprStr
+		}
+		return false
+	}
 	be, ok := cond.(*ast.BinaryExpr)
 	if !ok {
 		return false
 	}
 	if !negated && be.Op == token.LAND {
-		return factEstablishesNonNil(be.X, false, exprStr) || factEstablishesNonNil(be.Y, false, exprStr)
+		return factEstablishesNonNil(be.X, false, exprStr, proves) || factEstablishesNonNil(be.Y, false, exprStr, proves)
 	}
 	if negated && be.Op == token.LOR {
-		return factEstablishesNonNil(be.X, true, exprStr) || factEstablishesNonNil(be.Y, true, exprStr)
+		return factEstablishesNonNil(be.X, true, exprStr, proves) || factEstablishesNonNil(be.Y, true, exprStr, proves)
 	}
 	want := token.NEQ
 	if negated {

@@ -34,6 +34,20 @@ func run(pass *analysis.Pass) error {
 	if analysis.PathMatch(pass.Pkg.Path(), nil, scopeExcludedLast) {
 		return nil
 	}
+	// A guard may be routed through a predicate helper — `if hookOK(h) {
+	// h.Emit(...) }` — in this package or another: the helper's
+	// NilCheckParam fact says which argument it proves non-nil.
+	proves := func(call *ast.CallExpr) (int, bool) {
+		fn := analysis.CalleeFunc(call, pass.TypesInfo)
+		if fn == nil {
+			return 0, false
+		}
+		ff, ok := pass.Facts.FuncFact(fn)
+		if !ok || ff.NilCheckParam < 0 {
+			return 0, false
+		}
+		return ff.NilCheckParam, true
+	}
 	for _, file := range pass.Files {
 		analysis.WalkWithFacts(file, func(n ast.Node, facts []analysis.Fact) {
 			call, ok := n.(*ast.CallExpr)
@@ -50,7 +64,7 @@ func run(pass *analysis.Pass) error {
 				return
 			}
 			recv := types.ExprString(sel.X)
-			if !analysis.NilGuarded(facts, recv) {
+			if !analysis.NilGuardedBy(facts, recv, proves) {
 				pass.Reportf(call.Pos(), "call to %s.%s through hook interface %s without a dominating `%s != nil` check (audit seams are nil-checked by convention)", recv, sel.Sel.Name, name, recv)
 			}
 		})

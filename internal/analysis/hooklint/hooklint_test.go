@@ -18,3 +18,7 @@ func TestHooklintFaultsSeam(t *testing.T) {
 func TestHooklintAuditPackageExempt(t *testing.T) {
 	analysistest.Run(t, hooklint.Analyzer, "audit")
 }
+
+func TestHooklintPredicateHelperFacts(t *testing.T) {
+	analysistest.Run(t, hooklint.Analyzer, "server2")
+}

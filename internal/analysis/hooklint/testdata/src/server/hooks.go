@@ -55,6 +55,17 @@ func (l *Ledger) Closure() func() {
 	return func() { l.Audit.Event("closure") }
 }
 
+// hookOK is a local nil-check predicate; its NilCheckParam fact lets the
+// guard below count.
+func hookOK(s AuditSink) bool { return s != nil }
+
+// PredicateGuard routes the nil check through the helper.
+func (l *Ledger) PredicateGuard() {
+	if hookOK(l.Audit) {
+		l.Audit.Event("predicate")
+	}
+}
+
 // Suppressed vouches for a receiver that is non-nil by construction.
 func (l *Ledger) Suppressed() {
 	l.Audit.Event("suppressed") //pclint:allow hooklint fixture receiver is assigned in the constructor and never nil

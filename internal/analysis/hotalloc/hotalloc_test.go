@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/hotalloc"
+)
+
+func TestSinglePackage(t *testing.T) { analysistest.Run(t, hotalloc.Analyzer, "hot") }
+func TestCrossPackage(t *testing.T)  { analysistest.Run(t, hotalloc.Analyzer, "hot2") }
+func TestOutOfScope(t *testing.T)    { analysistest.Run(t, hotalloc.Analyzer, "cold") }

@@ -1,0 +1,12 @@
+// Package allocdep exports helpers for the hotalloc cross-package
+// fixture; their allocation summaries travel as facts.
+package allocdep
+
+// Grow allocates: hot callers in other packages are flagged through its
+// fact summary.
+func Grow(xs []int, v int) []int {
+	return append(xs, v)
+}
+
+// Flat is allocation-free.
+func Flat(x int) int { return x + 1 }

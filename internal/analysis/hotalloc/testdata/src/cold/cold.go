@@ -1,0 +1,8 @@
+// Package cold has no hotpath marks; allocations are unconstrained.
+package cold
+
+func Lots() []int {
+	m := make([]int, 0, 10)
+	m = append(m, 1)
+	return m
+}

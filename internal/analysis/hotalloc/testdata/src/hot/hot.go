@@ -1,0 +1,42 @@
+// Package hot exercises the hotpath allocation discipline in one
+// package: direct allocation sites, the capacity-guard escape, and
+// intra-package transitive summaries.
+package hot
+
+import "fmt"
+
+type ring struct {
+	buf []uint64
+	pos int
+}
+
+// Push appends one value on the steady-state path.
+//
+//pclint:hotpath
+func (r *ring) Push(v uint64) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, v) // ok: capacity proven by the dominating check
+	}
+	r.buf = append(r.buf, v) // want `hotpath Push: append may grow`
+	m := make([]uint64, 4)   // want `hotpath Push: make allocates`
+	_ = m
+	fmt.Println(v) // want `hotpath Push: fmt.Println formats through reflection`
+}
+
+// Emit is hot and calls an allocating helper: the finding rides the
+// helper's fact summary.
+//
+//pclint:hotpath
+func Emit(v uint64) {
+	sink(v) // want `hotpath Emit: call to sink which allocates`
+}
+
+func sink(v uint64) {
+	_ = fmt.Sprintf("%d", v)
+}
+
+// Cold is unmarked; it may allocate freely.
+func Cold() []uint64 {
+	out := make([]uint64, 0, 8)
+	return append(out, 1)
+}

@@ -1,0 +1,21 @@
+package hot
+
+// Refill is the deliberate cold path: the waiver suppresses the local
+// finding and prunes the site from Refill's exported summary, so hot
+// callers stay clean.
+//
+//pclint:hotpath
+func Refill() []uint64 {
+	return make([]uint64, 64) //pclint:allow hotalloc cold-path refill preallocates a batch
+}
+
+//pclint:hotpath
+func UsesRefill() []uint64 {
+	return Refill() // ok: the waiver vouches for the chain
+}
+
+//pclint:hotpath
+func Steady(buf []uint64) uint64 {
+	//pclint:allow hotalloc this line allocates nothing // want `stale //pclint:allow hotalloc directive`
+	return buf[0]
+}

@@ -1,0 +1,10 @@
+// Package hot2 exercises hotalloc's cross-package fact flow.
+package hot2
+
+import "allocdep"
+
+//pclint:hotpath
+func Tick(xs []int) []int {
+	_ = allocdep.Flat(3)        // ok: proven allocation-free
+	return allocdep.Grow(xs, 1) // want `hotpath Tick: call to Grow which allocates`
+}

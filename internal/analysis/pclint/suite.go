@@ -8,7 +8,10 @@ import (
 	"powercontainers/internal/analysis/detlint"
 	"powercontainers/internal/analysis/floatsafe"
 	"powercontainers/internal/analysis/hooklint"
+	"powercontainers/internal/analysis/hotalloc"
 	"powercontainers/internal/analysis/maporder"
+	"powercontainers/internal/analysis/seedflow"
+	"powercontainers/internal/analysis/unitsafe"
 )
 
 // Suite returns the full pclint analyzer suite in reporting order.
@@ -18,5 +21,8 @@ func Suite() []*analysis.Analyzer {
 		maporder.Analyzer,
 		hooklint.Analyzer,
 		floatsafe.Analyzer,
+		unitsafe.Analyzer,
+		seedflow.Analyzer,
+		hotalloc.Analyzer,
 	}
 }

@@ -1,0 +1,142 @@
+// Package seedflow enforces RNG seed provenance across the call graph:
+// every argument reaching a seed position — sim.NewRand's seed,
+// runner.SeedFor's base, or a parameter another function's fact summary
+// marks as seed-carrying — must trace, through locals, arithmetic, and
+// calls, to one of the blessed roots:
+//
+//   - runner.SeedFor(base, key) derivations and their arithmetic,
+//   - a draw from an existing sim.Rand (Fork, Uint64, ...),
+//   - a package-level constant or variable registered with //pclint:seed,
+//   - a struct field whose name ends in Seed (every *write* to such a
+//     field is itself checked, so reads are trustworthy),
+//   - a parameter of the enclosing function — sound because the
+//     gatherer then exports that parameter as a SeedParams fact, moving
+//     the obligation to every caller.
+//
+// This is the determinism contract of the experiment harness: a run is
+// replayable iff every generator's seed is a pure function of the
+// experiment's registered base seed.
+//
+// _test.go files are exempt: tests pin explicit literal seeds on purpose
+// (that IS the reproducibility mechanism there), so the provenance
+// obligation applies only to the production harness.
+package seedflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"powercontainers/internal/analysis"
+)
+
+// scope: everywhere in the module except the seed primitives' own homes —
+// sim implements the generator and runner implements the derivation, so
+// their internals necessarily touch raw integers.
+var scopeExcludedLast = []string{"sim", "runner"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc: "flags RNG seed positions (sim.NewRand, runner.SeedFor bases, seed-carrying " +
+		"parameters) whose argument does not trace to a registered seed root",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.PathMatch(pass.Pkg.Path(), nil, scopeExcludedLast) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	ev := &analysis.SeedEval{
+		Info:   info,
+		Lookup: func(fn *types.Func) (analysis.FuncFact, bool) { return pass.Facts.FuncFact(fn) },
+		IsSeedConst: func(obj types.Object) bool {
+			return pass.Facts.SeedConst(obj)
+		},
+		// Parameters of the enclosing declaration are trusted here; the
+		// fact gatherer exports them as SeedParams, so each caller is
+		// checked in turn. Function-literal parameters are trusted by
+		// convention (registry closures receive the harness seed).
+		Params:  analysis.IntParams(fd, info),
+		Trusted: analysis.LitParams(fd.Body, info),
+		Defs:    analysis.LocalDefs(fd.Body, info),
+	}
+	lookup := ev.Lookup
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, idx := range analysis.SeedArgPositions(n, info, lookup) {
+				if idx >= len(n.Args) {
+					continue
+				}
+				arg := n.Args[idx]
+				if ev.IsSeed(arg, nil) {
+					continue
+				}
+				what := describeSeedSink(n, info, idx)
+				pass.Reportf(arg.Pos(), "seed provenance: %s does not trace to runner.SeedFor, a //pclint:seed root, or a seed parameter (got %s)",
+					what, types.ExprString(arg))
+			}
+		case *ast.AssignStmt:
+			// Writes to ...Seed struct fields must themselves be
+			// provenance-correct: reads of such fields are blessed.
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !strings.HasSuffix(sel.Sel.Name, "Seed") {
+					continue
+				}
+				if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				if !ev.IsSeed(n.Rhs[i], nil) {
+					pass.Reportf(n.Rhs[i].Pos(), "seed provenance: value stored in seed field %s does not trace to a seed root (got %s)",
+						sel.Sel.Name, types.ExprString(n.Rhs[i]))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func describeSeedSink(call *ast.CallExpr, info *types.Info, idx int) string {
+	switch {
+	case analysis.IsNewRandCall(call, info):
+		return "sim.NewRand seed"
+	case analysis.IsSeedForCall(call, info):
+		return "runner.SeedFor base"
+	}
+	if fn := analysis.CalleeFunc(call, info); fn != nil {
+		return "seed parameter " + paramName(fn, idx) + " of " + fn.Name()
+	}
+	return "seed argument"
+}
+
+func paramName(fn *types.Func, idx int) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || idx >= sig.Params().Len() {
+		return "?"
+	}
+	if name := sig.Params().At(idx).Name(); name != "" {
+		return name
+	}
+	return "?"
+}

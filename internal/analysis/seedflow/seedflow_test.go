@@ -1,0 +1,12 @@
+package seedflow_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/seedflow"
+)
+
+func TestSinglePackage(t *testing.T) { analysistest.Run(t, seedflow.Analyzer, "exp") }
+func TestCrossPackage(t *testing.T)  { analysistest.Run(t, seedflow.Analyzer, "drv") }
+func TestOutOfScope(t *testing.T)    { analysistest.Run(t, seedflow.Analyzer, "sim") }

@@ -1,0 +1,19 @@
+// Package drv exercises seedflow's cross-package facts: exp.MakeRand's
+// parameter is a seed position learned from imported facts, and
+// exp.DeriveSeed's result is a seed by its SeedSource fact.
+package drv
+
+import (
+	"exp"
+	"runner"
+)
+
+func Bad() {
+	exp.MakeRand(1234) // want `seed provenance: seed parameter seed of MakeRand does not trace`
+}
+
+func Good(baseSeed uint64) {
+	exp.MakeRand(runner.SeedFor(baseSeed, 2))
+	exp.MakeRand(exp.DeriveSeed(3))
+	exp.MakeRand(exp.BaseSeed) // ok: registered root crosses packages
+}

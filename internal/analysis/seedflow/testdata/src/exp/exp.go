@@ -1,0 +1,69 @@
+// Package exp exercises seed provenance within one package and exports
+// the facts (seed params, seed sources, seed roots) the cross-package
+// fixture consumes.
+package exp
+
+import (
+	"runner"
+	"sim"
+)
+
+// BaseSeed is the registered experiment seed root.
+//
+//pclint:seed
+var BaseSeed uint64 = 0x5eed
+
+// Config carries a per-run derived seed; reads of RunSeed are blessed
+// because every write to it is checked.
+type Config struct {
+	RunSeed uint64
+}
+
+func Bad() *sim.Rand {
+	return sim.NewRand(42) // want `seed provenance: sim.NewRand seed does not trace`
+}
+
+func Good(cfg Config) *sim.Rand {
+	r := sim.NewRand(runner.SeedFor(BaseSeed, 1))
+	_ = sim.NewRand(cfg.RunSeed) // ok: blessed seed field
+	_ = sim.NewRand(r.Uint64())  // ok: drawn from an existing generator
+	return r.Fork()
+}
+
+// MakeRand's parameter becomes a SeedParams fact: the obligation moves
+// to every caller.
+func MakeRand(seed uint64) *sim.Rand {
+	return sim.NewRand(seed*7919 + 1)
+}
+
+// DeriveSeed is a SeedSource: its result is a well-derived seed.
+func DeriveSeed(i int) uint64 {
+	return runner.SeedFor(BaseSeed, uint64(i))
+}
+
+func UsesDerived(i int) *sim.Rand {
+	return sim.NewRand(DeriveSeed(i)) // ok: SeedSource fact
+}
+
+func ChainsParam(runSeed uint64) *sim.Rand {
+	return MakeRand(runSeed ^ 0xff) // ok: enclosing seed param, re-exported as a fact
+}
+
+func BadChain() *sim.Rand {
+	return MakeRand(1234) // want `seed provenance: seed parameter seed of MakeRand does not trace`
+}
+
+// Halve is plain integer arithmetic over its parameter — its result is a
+// seed only if its input was. The grounding rule keeps it from being
+// promoted to a SeedSource (and its parameter from becoming a caller
+// obligation): a function is a source only if it actually derives.
+func Halve(n uint64) uint64 { return n / 2 }
+
+func UsesHalve() *sim.Rand {
+	return sim.NewRand(Halve(4)) // want `seed provenance: sim.NewRand seed does not trace`
+}
+
+func StoreSeeds(cfg *Config, runSeed uint64) {
+	cfg.RunSeed = runner.SeedFor(runSeed, 2) // ok
+	cfg.RunSeed = 99                         // want `seed provenance: value stored in seed field RunSeed`
+}

@@ -1,0 +1,12 @@
+package exp
+
+import "sim"
+
+func Waived() *sim.Rand {
+	return sim.NewRand(7) //pclint:allow seedflow fixture rig pins a fixed generator
+}
+
+func Stale() {
+	//pclint:allow seedflow nothing to suppress here // want `stale //pclint:allow seedflow directive`
+	_ = 1
+}

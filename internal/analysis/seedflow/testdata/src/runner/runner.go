@@ -1,0 +1,6 @@
+// Package runner is a fixture stand-in for the experiment harness's
+// seed-derivation primitive.
+package runner
+
+// SeedFor derives a stream seed from a base seed and a key.
+func SeedFor(base, key uint64) uint64 { return (base ^ key) * 0x9e3779b97f4a7c15 }

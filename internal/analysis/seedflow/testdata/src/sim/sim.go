@@ -1,0 +1,19 @@
+// Package sim is a fixture stand-in for the engine's RNG: seedflow
+// exempts it, since the generator internals necessarily touch raw
+// integers.
+package sim
+
+// Rand is a deterministic generator.
+type Rand struct{ s uint64 }
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{s: seed} }
+
+// Uint64 draws the next value.
+func (r *Rand) Uint64() uint64 { r.s += 0x9e3779b97f4a7c15; return r.s }
+
+// Fork derives an independent child generator.
+func (r *Rand) Fork() *Rand { return NewRand(r.Uint64()) }
+
+// Clone uses a raw constant, legal inside sim itself.
+func Clone() *Rand { return NewRand(1) }

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IsNewRandCall reports whether call invokes sim.NewRand (matched by
+// package last-segment so fixtures and the real tree both resolve).
+func IsNewRandCall(call *ast.CallExpr, info *types.Info) bool {
+	fn := calleeObject(call, info)
+	return fn != nil && fn.Pkg() != nil && fn.Name() == "NewRand" && pkgLastSegment(fn.Pkg().Path()) == "sim"
+}
+
+// IsSeedForCall reports whether call invokes runner.SeedFor, the blessed
+// seed-derivation primitive.
+func IsSeedForCall(call *ast.CallExpr, info *types.Info) bool {
+	fn := calleeObject(call, info)
+	return fn != nil && fn.Pkg() != nil && fn.Name() == "SeedFor" && pkgLastSegment(fn.Pkg().Path()) == "runner"
+}
+
+// isRandMethodCall reports whether call is a method call on sim.Rand —
+// drawing from an existing generator is the canonical way to fork a seed.
+func isRandMethodCall(call *ast.CallExpr, info *types.Info) bool {
+	fn := calleeObject(call, info)
+	if fn == nil || fn.Pkg() == nil || pkgLastSegment(fn.Pkg().Path()) != "sim" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil && recvTypeName(sig.Recv().Type()) == "Rand"
+}
+
+// A SeedEval evaluates whether an expression is a provenance-correct RNG
+// seed: one that traces, through locals, arithmetic and the call graph,
+// to runner.SeedFor, a //pclint:seed-registered constant, a seed-carrying
+// field or parameter, or a draw from an existing sim.Rand.
+type SeedEval struct {
+	Info *types.Info
+	// Lookup resolves a function's fact summary; during gathering it
+	// consults the in-progress local map before imported facts.
+	Lookup func(fn *types.Func) (FuncFact, bool)
+	// IsSeedConst reports whether an object is a registered seed root.
+	IsSeedConst func(obj types.Object) bool
+	// Params maps the enclosing declaration's integer parameters to
+	// their indices; parameters relied on during evaluation are recorded
+	// in the used set (the caller's proof obligation).
+	Params map[types.Object]int
+	// Trusted holds additional objects assumed seed-derived without
+	// recording: parameters of enclosing function literals, whose call
+	// sites are dynamic and carry the contract by convention.
+	Trusted map[types.Object]bool
+	// Defs maps local variables to every expression assigned to them.
+	Defs map[types.Object][]ast.Expr
+
+	// grounded records whether the last evaluation touched a concrete
+	// seed root (SeedFor, a Rand draw, a registered constant, a seed
+	// field, a SeedSource call) rather than relying on trusted
+	// parameters alone. See IsSeedGrounded.
+	grounded bool
+}
+
+// IsSeed evaluates e, accumulating the enclosing function's parameters the
+// derivation depends on into used (which may be nil to discard).
+func (ev *SeedEval) IsSeed(e ast.Expr, used map[int]bool) bool {
+	ok, _ := ev.IsSeedGrounded(e, used)
+	return ok
+}
+
+// IsSeedGrounded is IsSeed plus a report of whether the derivation passed
+// through a concrete seed root, as opposed to being a pure function of
+// trusted parameters. The distinction keeps integer passthroughs
+// (func ChipOf(core int) int { return core / k }) from being exported as
+// seed sources: a parameter is an acceptable seed *input*, but a function
+// is only a seed *source* if it actually derives.
+func (ev *SeedEval) IsSeedGrounded(e ast.Expr, used map[int]bool) (isSeed, grounded bool) {
+	ev.grounded = false
+	ok := ev.isSeed(e, used, 0)
+	return ok, ev.grounded
+}
+
+func (ev *SeedEval) isSeed(e ast.Expr, used map[int]bool, depth int) bool {
+	if depth > 32 {
+		return false
+	}
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return ev.identSeed(e, used, depth)
+	case *ast.SelectorExpr:
+		// A qualified package identifier resolves like a plain one; a
+		// field selection named ...Seed carries a blessed seed by the
+		// field-write rule (seedflow checks every write to such fields).
+		if obj := ev.Info.Uses[e.Sel]; obj != nil {
+			if _, isField := obj.(*types.Var); isField && strings.HasSuffix(e.Sel.Name, "Seed") {
+				ev.grounded = true
+				return true
+			}
+			if ev.IsSeedConst != nil && ev.IsSeedConst(obj) {
+				ev.grounded = true
+				return true
+			}
+		}
+		return false
+	case *ast.StarExpr:
+		return ev.isSeed(e.X, used, depth+1)
+	case *ast.UnaryExpr:
+		return ev.isSeed(e.X, used, depth+1)
+	case *ast.BinaryExpr:
+		lu := map[int]bool{}
+		ru := map[int]bool{}
+		l := ev.isSeed(e.X, lu, depth+1)
+		r := ev.isSeed(e.Y, ru, depth+1)
+		if !l && !r {
+			return false
+		}
+		if used != nil {
+			if l {
+				for i := range lu {
+					used[i] = true
+				}
+			}
+			if r {
+				for i := range ru {
+					used[i] = true
+				}
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		if tv, ok := ev.Info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return ev.isSeed(e.Args[0], used, depth+1)
+			}
+			return false
+		}
+		if IsSeedForCall(e, ev.Info) || isRandMethodCall(e, ev.Info) {
+			ev.grounded = true
+			return true
+		}
+		if fn := calleeObject(e, ev.Info); fn != nil && ev.Lookup != nil {
+			if ff, ok := ev.Lookup(fn); ok && ff.SeedSource {
+				ev.grounded = true
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func (ev *SeedEval) identSeed(id *ast.Ident, used map[int]bool, depth int) bool {
+	obj := ev.Info.Uses[id]
+	if obj == nil {
+		obj = ev.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if idx, ok := ev.Params[obj]; ok {
+		if used != nil {
+			used[idx] = true
+		}
+		return true
+	}
+	if ev.Trusted[obj] {
+		return true
+	}
+	if ev.IsSeedConst != nil && ev.IsSeedConst(obj) {
+		ev.grounded = true
+		return true
+	}
+	if defs, ok := ev.Defs[obj]; ok && len(defs) > 0 {
+		for _, d := range defs {
+			if !ev.isSeed(d, used, depth+1) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// IntParams returns the integer-typed parameters (including the receiver's
+// position being excluded) of a function declaration, mapped to indices.
+func IntParams(decl *ast.FuncDecl, info *types.Info) map[types.Object]int {
+	out := map[types.Object]int{}
+	if decl.Type.Params == nil {
+		return out
+	}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isIntegerType(obj.Type()) {
+				out[obj] = i
+			}
+			i++
+		}
+		if len(field.Names) == 0 {
+			i++
+		}
+	}
+	return out
+}
+
+// LitParams collects the parameters of every function literal nested in
+// body, the Trusted set for seed evaluation.
+func LitParams(body *ast.BlockStmt, info *types.Info) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if body == nil {
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || lit.Type.Params == nil {
+			return true
+		}
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// LocalDefs maps every local variable in body to the expressions assigned
+// to it (short declarations, assignments, and var declarations).
+func LocalDefs(body *ast.BlockStmt, info *types.Info) map[types.Object][]ast.Expr {
+	out := map[types.Object][]ast.Expr{}
+	if body == nil {
+		return out
+	}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = append(out[obj], rhs)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) == len(s.Rhs) {
+				for i := range s.Lhs {
+					record(s.Lhs[i], s.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Names) == len(s.Values) {
+				for i := range s.Names {
+					record(s.Names[i], s.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

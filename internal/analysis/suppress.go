@@ -68,21 +68,37 @@ func Directives(fset *token.FileSet, files []*ast.File, known func(string) bool)
 	return out
 }
 
+// A DirectiveKey locates one (line, analyzer) coverage slot of a
+// suppression directive. Fact gathering reports the slots it consumed
+// (e.g. a //pclint:allow hotalloc waiver that pruned an allocation from a
+// function's exported summary) through this type so that such directives
+// are not reported stale.
+type DirectiveKey struct {
+	File     string
+	Line     int
+	Analyzer string
+}
+
 // Filter applies the suppression directives found in files to diags: a
 // diagnostic is dropped when a well-formed directive for its analyzer sits
 // on the same line or the line immediately above. Each malformed directive
 // is reported as an additional "pclint" diagnostic. The result is sorted
 // by position.
 func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known func(string) bool) []Diagnostic {
+	return FilterStale(fset, files, diags, known, nil, nil)
+}
+
+// FilterStale is Filter with stale-suppression detection: when ran is
+// non-nil, a well-formed directive whose analyzer actually ran this pass
+// but which suppressed no diagnostic (and consumed no fact-gathering
+// waiver slot in used) is itself reported as a "pclint" diagnostic, so
+// dead annotations fail the lint gate instead of rotting in place.
+func FilterStale(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known func(string) bool, ran func(string) bool, used map[DirectiveKey]bool) []Diagnostic {
 	dirs := Directives(fset, files, known)
-	type key struct {
-		file     string
-		line     int
-		analyzer string
-	}
-	allowed := make(map[key]bool)
+	allowed := make(map[DirectiveKey]int) // slot → index into dirs
+	hit := make([]bool, len(dirs))
 	var out []Diagnostic
-	for _, d := range dirs {
+	for i, d := range dirs {
 		if d.Malformed != "" {
 			out = append(out, Diagnostic{
 				Pos:      d.Pos,
@@ -93,15 +109,31 @@ func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known fu
 		}
 		// The directive covers its own line (trailing comment) and the
 		// line below (own-line comment above the offending statement).
-		allowed[key{d.File, d.Line, d.Analyzer}] = true
-		allowed[key{d.File, d.Line + 1, d.Analyzer}] = true
+		allowed[DirectiveKey{d.File, d.Line, d.Analyzer}] = i
+		allowed[DirectiveKey{d.File, d.Line + 1, d.Analyzer}] = i
+		if used[DirectiveKey{d.File, d.Line, d.Analyzer}] || used[DirectiveKey{d.File, d.Line + 1, d.Analyzer}] {
+			hit[i] = true
+		}
 	}
 	for _, d := range diags {
 		posn := fset.Position(d.Pos)
-		if allowed[key{posn.Filename, posn.Line, d.Analyzer}] {
+		if i, ok := allowed[DirectiveKey{posn.Filename, posn.Line, d.Analyzer}]; ok {
+			hit[i] = true
 			continue
 		}
 		out = append(out, d)
+	}
+	if ran != nil {
+		for i, d := range dirs {
+			if d.Malformed != "" || hit[i] || !ran(d.Analyzer) {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos:      d.Pos,
+				Analyzer: "pclint",
+				Message:  fmt.Sprintf("stale %s %s directive: it suppressed nothing this run; delete it", DirectivePrefix, d.Analyzer),
+			})
+		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
 	return out

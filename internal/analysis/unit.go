@@ -27,7 +27,8 @@ type UnitConfig struct {
 	ModulePath                string
 	ImportMap                 map[string]string // import path → canonical package path
 	PackageFile               map[string]string // canonical package path → export data file
-	VetxOnly                  bool              // analyze only for facts (pclint has none)
+	PackageVetx               map[string]string // canonical package path → dependency fact file
+	VetxOnly                  bool              // gather facts only, no diagnostics
 	VetxOutput                string            // fact file the build system expects us to write
 	SucceedOnTypecheckFailure bool
 }
@@ -36,22 +37,28 @@ type UnitConfig struct {
 // config file, printing diagnostics to stderr. It returns the process
 // exit code: 0 clean, 1 diagnostics or analysis errors.
 //
-// pclint exports no facts, so dependency units (VetxOnly) and packages
-// outside the module under analysis are dismissed with an empty fact file.
+// This is the two-pass engine's driver half: for every module unit it
+// first gathers the package's fact set (GatherFacts) — reading its
+// dependencies' facts from the vetx files the build system recorded in
+// PackageVetx — and serializes it to VetxOutput, so dependent units can
+// import it. VetxOnly units stop there; full units then run the analyzer
+// suite with the assembled FactStore. Packages outside the module export
+// an empty fact file and are not analyzed.
 func RunUnit(configFile string, suite []*Analyzer) int {
 	cfg, err := readUnitConfig(configFile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
 		return 1
 	}
-	// Always satisfy the build system's fact-file expectation first.
+	// Satisfy the build system's fact-file expectation up front; module
+	// units overwrite the placeholder with real facts below.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
 			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
 			return 1
 		}
 	}
-	if cfg.VetxOnly || !inModule(cfg) {
+	if !inModule(cfg) {
 		return 0
 	}
 
@@ -97,12 +104,47 @@ func RunUnit(configFile string, suite []*Analyzer) int {
 		return 1
 	}
 
-	diags, err := RunAnalyzers(fset, files, pkg, info, suite)
+	// Pass 1: assemble dependency facts, gather and export this unit's.
+	store := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing dep facts degrade gracefully
+		}
+		pf, err := DecodePackageFacts(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+			return 1
+		}
+		store.Add(pf)
+	}
+	facts, usedSlots, gatherDiags := GatherFacts(fset, files, pkg, info, store)
+	store.Add(facts)
+	if cfg.VetxOutput != "" {
+		data, err := facts.Encode()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Pass 2: run the suite against the fact store.
+	diags, err := RunAnalyzers(fset, files, pkg, info, store, suite)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pclint: %v\n", err)
 		return 1
 	}
-	diags = Filter(fset, files, diags, KnownSet(suite))
+	diags = append(diags, gatherDiags...)
+	// The real driver always runs the whole suite, so every well-formed
+	// directive is eligible for staleness.
+	diags = FilterStale(fset, files, diags, KnownSet(suite), func(string) bool { return true }, usedSlots)
 	for _, d := range diags {
 		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
 	}
@@ -145,7 +187,11 @@ func readUnitConfig(filename string) (*UnitConfig, error) {
 // (as opposed to a standard-library or external dependency).
 func inModule(cfg *UnitConfig) bool {
 	if cfg.ModulePath == "" {
-		return true // be permissive when the build system omits it
+		// Standard-library and GOPATH units arrive without a module
+		// path. They must not be analyzed or fact-gathered: a
+		// permissive default here once exported seed-parameter facts
+		// for strconv.FormatFloat's fmt byte, flagging every caller.
+		return false
 	}
 	return cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/")
 }

@@ -1,0 +1,53 @@
+// Package core exercises unitsafe within a single package: suffix-derived
+// dimensions, // unit: overrides, and the constant-wildcard rule.
+package core
+
+// BudgetW is the package power budget.
+const BudgetW = 95.0
+
+// unit: W
+var rate = 1.5 // suffix lies are corrected by overrides
+
+// unit: none
+var refTempW = 3.0 // not actually watts: opted out
+
+// unit: furlongs // want `bad // unit: override: unknown unit "furlongs"`
+var distance = 1.0
+
+// Sample carries one attribution reading.
+type Sample struct {
+	EnergyJ   float64
+	Energy_mJ float64
+	Dur       float64 // unit: Seconds
+}
+
+func Mixups(s Sample, elapsedSeconds, totalJ float64) {
+	_ = totalJ + elapsedSeconds // want `unit mismatch: mixing J and Seconds`
+	_ = s.EnergyJ - s.Energy_mJ // want `unit mismatch: mixing J and mJ`
+	_ = totalJ > elapsedSeconds // want `unit mismatch: comparing J and Seconds`
+	_ = s.EnergyJ + s.Dur       // want `unit mismatch: mixing J and Seconds`
+
+	powerW := totalJ / elapsedSeconds // ok: J/Seconds is W
+	_ = powerW + BudgetW              // ok: same dimension
+	wrongJ := powerW * 2              // want `unit mismatch: W value bound to "wrongJ" which is declared J`
+	_ = wrongJ
+	energyJ := powerW * s.Dur // ok: W*Seconds is J
+	_ = energyJ
+	_ = totalJ + 5      // ok: bare constants are wildcards
+	_ = rate + powerW   // ok: override says rate is W
+	_ = refTempW + totalJ // ok: refTempW opted out with unit: none
+	_ = distance
+
+	// Named constants are not wildcards: their suffix declares a dimension.
+	_ = BudgetW + totalJ // want `unit mismatch: mixing W and J`
+	budgetJ := BudgetW * s.Dur // ok: W*Seconds is J
+	_ = budgetJ
+}
+
+// Consume takes a duration.
+func Consume(durSeconds float64) { _ = durSeconds }
+
+func CallMismatch(totalJ float64) {
+	Consume(totalJ) // want `unit mismatch: passing J value to parameter "durSeconds" of Consume which is declared Seconds`
+	Consume(0.5)    // ok: constant wildcard
+}

@@ -1,0 +1,7 @@
+package core
+
+func Suppressed(totalJ, elapsedSeconds float64) {
+	_ = totalJ + elapsedSeconds //pclint:allow unitsafe raw telemetry mixes fields deliberately
+	//pclint:allow unitsafe nothing wrong on this line // want `stale //pclint:allow unitsafe directive`
+	_ = totalJ + totalJ
+}

@@ -1,0 +1,5 @@
+// Package other is outside unitsafe's scope; mixed dimensions are not
+// reported here.
+package other
+
+func Mix(totalJ, elapsedSeconds float64) float64 { return totalJ + elapsedSeconds }

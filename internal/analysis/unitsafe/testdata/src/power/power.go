@@ -1,0 +1,18 @@
+// Package power consumes udep's dimensioned API across a package
+// boundary: every unit here comes from imported facts or export-data
+// parameter names.
+package power
+
+import "udep"
+
+func Use(totalJ, freqHz float64) {
+	_ = udep.Window + totalJ // want `unit mismatch: mixing Seconds and J`
+	udep.Drain(totalJ)       // want `unit mismatch: passing J value to parameter "durSeconds" of Drain which is declared Seconds`
+
+	got := udep.Drain(udep.Window) // ok: Seconds into Seconds
+	_ = got + freqHz               // want `unit mismatch: mixing J and Hz`
+
+	var r udep.Reading
+	_ = r.Level - totalJ // want `unit mismatch: mixing W and J`
+	_ = r.Level * 2      // ok
+}

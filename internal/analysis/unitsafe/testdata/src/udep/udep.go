@@ -1,0 +1,18 @@
+// Package udep exports a dimensioned API for the unitsafe cross-package
+// fixture: its // unit: overrides travel to importers as package facts,
+// and its parameter names travel in export data.
+package udep
+
+// Window is the averaging window.
+// unit: Seconds
+var Window = 0.25
+
+// Drain reports the energy drained over a window.
+// unit: J
+func Drain(durSeconds float64) float64 { return 12 * durSeconds }
+
+// Reading is one meter sample.
+type Reading struct {
+	// unit: W
+	Level float64
+}

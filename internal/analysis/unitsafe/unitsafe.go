@@ -1,0 +1,363 @@
+// Package unitsafe enforces dimensional consistency over the repo's
+// quantity-suffix naming convention (EnergyJ, powerW, tickSeconds,
+// elapsedCycles, FreqHz; see analysis.UnitFromName). It flags
+//
+//   - additions, subtractions and comparisons whose operands carry
+//     different dimensions (J + Seconds, mJ < J without rescaling),
+//   - multiplication/division results bound to an identifier whose
+//     declared unit disagrees (energyJ := powerW * countCycles),
+//   - dimensioned arguments passed to parameters declared with a
+//     conflicting dimension, across package boundaries via facts.
+//
+// Unit information comes from identifier suffixes — re-derived at every
+// use site from names, which travel in export data — plus `// unit:`
+// doc-comment overrides exported as package facts (a declaration whose
+// name lies about its unit can be corrected with `// unit: W`, or opted
+// out entirely with `// unit: none`).
+//
+// Untyped and typed constants are treated as wildcards: multiplying or
+// comparing against a bare number is always legal (2*budgetW stays W),
+// so only mixtures of two *named* dimensions are reported.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"powercontainers/internal/analysis"
+)
+
+// scopeLast names the packages under the unit discipline: the attribution
+// core and the physical-quantity pipelines around it.
+var scopeLast = []string{"core", "power", "model", "calib", "stream", "cluster"}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "unitsafe",
+	Doc: "flags arithmetic, bindings, and calls that mix physical dimensions " +
+		"(J, mJ, W, Seconds, Cycles, Hz) inferred from identifier suffixes and // unit: overrides",
+	Run: run,
+}
+
+// kind classifies how much we know about an expression's unit.
+type kind int
+
+const (
+	kUnknown kind = iota // no unit information: never flag
+	kConst               // a constant: compatible with anything
+	kKnown               // a definite dimension
+)
+
+type uval struct {
+	u Unit
+	k kind
+}
+
+// Unit aliases the framework's dimension type for brevity.
+type Unit = analysis.Unit
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PathMatch(pass.Pkg.Path(), nil, scopeLast) {
+		return nil
+	}
+	c := &checker{pass: pass, visiting: map[types.Object]bool{}}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				// Track local definitions so unsuffixed locals inherit
+				// the unit of what was assigned to them.
+				c.defs = analysis.LocalDefs(fd.Body, pass.TypesInfo)
+			} else {
+				c.defs = nil
+			}
+			c.walk(decl)
+		}
+	}
+	return nil
+}
+
+func (c *checker) walk(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					c.checkBinding(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					c.checkBinding(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.CallExpr:
+			c.checkCall(n)
+		}
+		return true
+	})
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	defs     map[types.Object][]ast.Expr
+	visiting map[types.Object]bool
+}
+
+var cmpOps = map[token.Token]bool{
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) {
+	if e.Op != token.ADD && e.Op != token.SUB && !cmpOps[e.Op] {
+		return
+	}
+	x, y := c.unitOf(e.X), c.unitOf(e.Y)
+	if x.k != kKnown || y.k != kKnown || x.u == y.u {
+		return
+	}
+	verb := "comparing"
+	if e.Op == token.ADD || e.Op == token.SUB {
+		verb = "mixing"
+	}
+	c.pass.Reportf(e.OpPos, "unit mismatch: %s %s and %s with %q (rescale or convert explicitly)",
+		verb, x.u, y.u, e.Op)
+}
+
+// checkBinding flags a dimensioned value bound to an identifier whose
+// declared unit disagrees — the lie that outlives the expression.
+func (c *checker) checkBinding(lhs, rhs ast.Expr) {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return
+	}
+	lu := c.identUnit(id)
+	if lu.k != kKnown {
+		return
+	}
+	ru := c.unitOf(rhs)
+	if ru.k != kKnown || lu.u == ru.u {
+		return
+	}
+	c.pass.Reportf(rhs.Pos(), "unit mismatch: %s value bound to %q which is declared %s",
+		ru.u, id.Name, lu.u)
+}
+
+// checkCall flags dimensioned arguments against conflicting parameter
+// dimensions, resolved from the callee's parameter names (present in
+// export data) and its package's `// unit:` override facts.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(call, c.pass.TypesInfo)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	key := analysis.FuncKey(fn)
+	for i, arg := range call.Args {
+		if sig.Variadic() && i >= params.Len()-1 {
+			break // variadic tails carry no per-argument declaration
+		}
+		if i >= params.Len() {
+			break
+		}
+		p := params.At(i)
+		pu := c.declUnit(fn.Pkg().Path(), analysis.ParamKey(key, i), p.Name())
+		if pu.k != kKnown {
+			continue
+		}
+		au := c.unitOf(arg)
+		if au.k != kKnown || au.u == pu.u {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(), "unit mismatch: passing %s value to parameter %q of %s which is declared %s",
+			au.u, p.Name(), fn.Name(), pu.u)
+	}
+}
+
+// unitOf evaluates the unit of an expression.
+func (c *checker) unitOf(e ast.Expr) uval {
+	e = ast.Unparen(e)
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		// A constant expression is a wildcard scalar — unless it is a
+		// *named* constant, whose suffix or override may declare a
+		// dimension (const BudgetW = 95 is a W quantity).
+		switch e := e.(type) {
+		case *ast.Ident:
+			return c.identUnit(e)
+		case *ast.SelectorExpr:
+			return c.selectorUnit(e)
+		}
+		return uval{k: kConst}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return c.identUnit(e)
+	case *ast.SelectorExpr:
+		return c.selectorUnit(e)
+	case *ast.StarExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		return c.unitOf(e.X)
+	case *ast.IndexExpr:
+		// An element of samplesJ is a J quantity.
+		return c.unitOf(e.X)
+	case *ast.CallExpr:
+		return c.callUnit(e)
+	case *ast.BinaryExpr:
+		x, y := c.unitOf(e.X), c.unitOf(e.Y)
+		switch e.Op {
+		case token.MUL:
+			return combine(x, y, Unit.Mul)
+		case token.QUO:
+			return combine(x, y, Unit.Div)
+		case token.ADD, token.SUB:
+			// The mismatch, if any, is reported at the operator; the
+			// sum's unit is whichever side declared one.
+			if x.k == kKnown {
+				return x
+			}
+			return y
+		case token.SHL, token.SHR:
+			return x
+		}
+		return uval{}
+	}
+	return uval{}
+}
+
+// combine folds two operand units under a product/quotient, treating
+// constants as dimensionless scalars.
+func combine(x, y uval, op func(Unit, Unit) Unit) uval {
+	if x.k == kUnknown || y.k == kUnknown {
+		return uval{}
+	}
+	if x.k == kConst && y.k == kConst {
+		return uval{k: kConst}
+	}
+	return uval{u: op(x.u, y.u), k: kKnown}
+}
+
+func (c *checker) identUnit(id *ast.Ident) uval {
+	info := c.pass.TypesInfo
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	if obj == nil {
+		return uval{}
+	}
+	if _, isConst := obj.(*types.Const); isConst {
+		// A named constant still carries its suffix's dimension if it has
+		// one (const BudgetW = 95 is a W quantity); otherwise wildcard.
+		if u, ok := c.objUnit(obj); ok {
+			return u
+		}
+		return uval{k: kConst}
+	}
+	if u, ok := c.objUnit(obj); ok {
+		return u
+	}
+	// An unsuffixed local inherits the unit of its definitions when they
+	// all agree (got := udep.Drain(w) makes got a J quantity).
+	if exprs := c.defs[obj]; len(exprs) > 0 && !c.visiting[obj] {
+		c.visiting[obj] = true
+		defer delete(c.visiting, obj)
+		res := uval{k: kConst}
+		for _, e := range exprs {
+			u := c.unitOf(e)
+			switch {
+			case u.k == kUnknown:
+				return uval{}
+			case u.k == kConst:
+			case res.k == kConst:
+				res = u
+			case res.u != u.u:
+				return uval{} // conflicting definitions: give up
+			}
+		}
+		if res.k == kKnown {
+			return res
+		}
+	}
+	return uval{}
+}
+
+// objUnit resolves a declared object's unit: `// unit:` override facts for
+// package-level declarations first, then the name-suffix grammar.
+func (c *checker) objUnit(obj types.Object) (uval, bool) {
+	if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+		if u, isUnit, present := c.pass.Facts.UnitOverride(obj.Pkg().Path(), obj.Name()); present {
+			if !isUnit {
+				return uval{}, true // unit: none — opted out
+			}
+			return uval{u: u, k: kKnown}, true
+		}
+	}
+	if u, ok := analysis.UnitFromName(obj.Name()); ok {
+		return uval{u: u, k: kKnown}, true
+	}
+	return uval{}, false
+}
+
+func (c *checker) selectorUnit(e *ast.SelectorExpr) uval {
+	info := c.pass.TypesInfo
+	if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+		field := sel.Obj()
+		owner := analysis.NamedTypeName(sel.Recv())
+		if field.Pkg() != nil && owner != "" {
+			key := analysis.FieldKey(owner, field.Name())
+			if u, isUnit, present := c.pass.Facts.UnitOverride(field.Pkg().Path(), key); present {
+				if !isUnit {
+					return uval{}
+				}
+				return uval{u: u, k: kKnown}
+			}
+		}
+		if u, ok := analysis.UnitFromName(field.Name()); ok {
+			return uval{u: u, k: kKnown}
+		}
+		return uval{}
+	}
+	// Qualified package identifier (pkg.TickSeconds) or method value.
+	return c.identUnit(e.Sel)
+}
+
+func (c *checker) callUnit(call *ast.CallExpr) uval {
+	info := c.pass.TypesInfo
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversions preserve dimension: uint64(energyJ) is still J.
+		if len(call.Args) == 1 {
+			return c.unitOf(call.Args[0])
+		}
+		return uval{}
+	}
+	fn := analysis.CalleeFunc(call, info)
+	if fn == nil || fn.Pkg() == nil {
+		return uval{}
+	}
+	return c.declUnit(fn.Pkg().Path(), analysis.ResultKey(analysis.FuncKey(fn), 0), fn.Name())
+}
+
+// declUnit resolves a unit from an override key in a package's facts,
+// falling back to the suffix grammar on the declared name.
+func (c *checker) declUnit(pkgPath, key, name string) uval {
+	if u, isUnit, present := c.pass.Facts.UnitOverride(pkgPath, key); present {
+		if !isUnit {
+			return uval{}
+		}
+		return uval{u: u, k: kKnown}
+	}
+	if u, ok := analysis.UnitFromName(name); ok {
+		return uval{u: u, k: kKnown}
+	}
+	return uval{}
+}

@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"powercontainers/internal/analysis/analysistest"
+	"powercontainers/internal/analysis/unitsafe"
+)
+
+func TestSinglePackage(t *testing.T) { analysistest.Run(t, unitsafe.Analyzer, "core") }
+func TestCrossPackage(t *testing.T)  { analysistest.Run(t, unitsafe.Analyzer, "power") }
+func TestOutOfScope(t *testing.T)    { analysistest.Run(t, unitsafe.Analyzer, "other") }

@@ -98,7 +98,8 @@ func TestSingleTaskAttribution(t *testing.T) {
 		t.Fatalf("mean power = %.2f, want ≈%.2f", cont.MeanActivePowerW(), wantP)
 	}
 	// Ground truth must agree since coefficients equal the hidden model.
-	truth := k.Rec.PkgActivePowerW(0, 50*sim.Millisecond) * 0.050
+	const windowSeconds = 0.050
+	truth := k.Rec.PkgActivePowerW(0, 50*sim.Millisecond) * windowSeconds
 	if math.Abs(cont.CPUEnergyJ-truth)/truth > 0.05 {
 		t.Fatalf("attribution %.4f J diverges from ground truth %.4f J", cont.CPUEnergyJ, truth)
 	}

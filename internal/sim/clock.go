@@ -133,9 +133,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
 // it indicates a causality bug in the caller, not a recoverable condition.
+//
+//pclint:hotpath
 func (e *Engine) At(t Time, fn func()) Handle {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now)) //pclint:allow hotalloc panic path: formats only when a causality bug fires
 	}
 	e.seq++
 	var ev *event
@@ -145,7 +147,7 @@ func (e *Engine) At(t Time, fn func()) Handle {
 		e.free = e.free[:n-1]
 		ev.at, ev.seq, ev.fn = t, e.seq, fn
 	} else {
-		ev = &event{at: t, seq: e.seq, fn: fn}
+		ev = &event{at: t, seq: e.seq, fn: fn} //pclint:allow hotalloc free-list miss; steady state recycles events through retire
 	}
 	heap.Push(&e.heap, ev)
 	return Handle{ev: ev, gen: ev.gen}
@@ -153,19 +155,25 @@ func (e *Engine) At(t Time, fn func()) Handle {
 
 // retire returns a dequeued event to the free list, bumping its incarnation
 // so outstanding Handles to it go inert.
+//
+//pclint:hotpath
 func (e *Engine) retire(ev *event) {
 	ev.gen++
 	ev.fn = nil
-	e.free = append(e.free, ev)
+	e.free = append(e.free, ev) //pclint:allow hotalloc free-list growth is bounded by the peak pending-event count
 }
 
 // After schedules fn to run d nanoseconds from now.
+//
+//pclint:hotpath
 func (e *Engine) After(d Time, fn func()) Handle {
 	return e.At(e.now+d, fn)
 }
 
 // Cancel removes a pending event. Cancelling an event that already fired or
 // was already cancelled is a no-op.
+//
+//pclint:hotpath
 func (e *Engine) Cancel(h Handle) {
 	if !h.live() {
 		return
@@ -191,6 +199,8 @@ func (e *Engine) NextEventAt() (Time, bool) {
 
 // Step runs the next event, if any, advancing the clock to its time.
 // It reports whether an event ran.
+//
+//pclint:hotpath
 func (e *Engine) Step() bool {
 	if len(e.heap) == 0 {
 		return false

@@ -57,6 +57,8 @@ func (r *Ring) Lo() int { return r.lo }
 func (r *Ring) Retained() int { return r.hi - r.lo }
 
 // slot maps an absolute index in [lo, hi) to a buf position.
+//
+//pclint:hotpath
 func (r *Ring) slot(i int) int {
 	p := r.start + (i - r.lo)
 	if p >= len(r.buf) {
@@ -68,6 +70,8 @@ func (r *Ring) slot(i int) int {
 // Append adds the next slot's value, evicting the oldest retained slot
 // into the prefix sum if the window is full. It returns the absolute
 // index of the appended slot.
+//
+//pclint:hotpath
 func (r *Ring) Append(v float64) int {
 	if r.hi-r.lo == len(r.buf) {
 		if len(r.buf) == 0 {
@@ -90,6 +94,8 @@ func (r *Ring) Append(v float64) int {
 }
 
 // At returns the value of absolute slot i and whether it is retained.
+//
+//pclint:hotpath
 func (r *Ring) At(i int) (float64, bool) {
 	if i < r.lo || i >= r.hi {
 		return 0, false
@@ -99,6 +105,8 @@ func (r *Ring) At(i int) (float64, bool) {
 
 // Set overwrites retained slot i, reporting whether the write landed.
 // Writes below the window (already evicted) or at/above hi are dropped.
+//
+//pclint:hotpath
 func (r *Ring) Set(i int, v float64) bool {
 	if i < r.lo || i >= r.hi {
 		return false

@@ -417,7 +417,6 @@ func (e *Engine) emitHierarchy(h *core.Hierarchy, t sim.Time) {
 }
 
 func (e *Engine) tickSeconds() float64 {
-	//pclint:allow floatsafe Config.withDefaults rejects non-positive ticks at construction
 	return float64(e.cfg.Tick) / float64(sim.Second)
 }
 

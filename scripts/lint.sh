@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Build the pclint multichecker and run the full analyzer suite (detlint,
-# maporder, hooklint, floatsafe) over the whole module through the
-# `go vet -vettool` protocol. Exits nonzero on any diagnostic. This is the
-# same invocation the CI lint job runs.
+# Build the pclint multichecker, run the analyzer fixture suites, and run
+# all seven analyzers (detlint, maporder, hooklint, floatsafe, unitsafe,
+# seedflow, hotalloc) over the whole module through the `go vet -vettool`
+# protocol. Exits nonzero on any diagnostic — including stale
+# //pclint:allow suppressions, which surface as pclint findings. This is
+# the same invocation the CI lint job runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 mkdir -p bin
 go build -o bin/pclint ./cmd/pclint
+go test ./internal/analysis/... ./cmd/pclint/
 exec go vet -vettool="$(pwd)/bin/pclint" ./...

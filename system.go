@@ -65,7 +65,7 @@ type Option func(*config)
 
 type config struct {
 	approach Attribution
-	seed     uint64
+	baseSeed uint64
 	capWatts float64
 	audit    bool
 }
@@ -75,7 +75,7 @@ func WithAttribution(a Attribution) Option { return func(c *config) { c.approach
 
 // WithSeed fixes the simulation seed (default 1); identical seeds yield
 // bit-identical runs.
-func WithSeed(seed uint64) Option { return func(c *config) { c.seed = seed } }
+func WithSeed(seed uint64) Option { return func(c *config) { c.baseSeed = seed } }
 
 // WithPowerCap enables fair request power conditioning with the given
 // system active power target in watts: requests exceeding their share are
@@ -119,7 +119,7 @@ func NewSystem(machine string, opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := config{approach: WithChipShare, seed: 1}
+	cfg := config{approach: WithChipShare, baseSeed: 1}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -140,7 +140,7 @@ func NewSystem(machine string, opts ...Option) (*System, error) {
 		auditC = experiments.NewAuditCollector(true)
 		as.Audit = auditC
 	}
-	m, err := as.NewMachine(spec, approach, cfg.seed)
+	m, err := as.NewMachine(spec, approach, cfg.baseSeed)
 	if err != nil {
 		return nil, err
 	}
