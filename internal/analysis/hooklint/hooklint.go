@@ -1,6 +1,6 @@
 // Package hooklint enforces the PR 1 audit-seam convention: every call
-// through a nil-able hook interface (AuditSink, AuditHook) must be
-// dominated by a nil check on the receiver, so that running without
+// through a nil-able hook interface (AuditSink, AuditHook, Probe) must
+// be dominated by a nil check on the receiver, so that running without
 // auditing costs a single predictable branch and never panics.
 package hooklint
 
@@ -16,6 +16,10 @@ import (
 var hookInterfaceNames = map[string]bool{
 	"AuditSink": true,
 	"AuditHook": true,
+	// Probe is the sim engine's per-dispatch observation seam (PR 9): it
+	// fires on every event dispatch, so an unguarded call would both
+	// panic without a probe installed and defeat the zero-cost default.
+	"Probe": true,
 }
 
 // scopeExcludedLast exempts the audit package itself: it is the home of
@@ -25,8 +29,8 @@ var scopeExcludedLast = []string{"audit"}
 
 var Analyzer = &analysis.Analyzer{
 	Name: "hooklint",
-	Doc: "flags calls through AuditSink/AuditHook hook interfaces that are not " +
-		"guarded by a `hook != nil` check on the receiver",
+	Doc: "flags calls through AuditSink/AuditHook/Probe hook interfaces that are " +
+		"not guarded by a `hook != nil` check on the receiver",
 	Run: run,
 }
 

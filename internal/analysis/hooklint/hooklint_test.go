@@ -22,3 +22,7 @@ func TestHooklintAuditPackageExempt(t *testing.T) {
 func TestHooklintPredicateHelperFacts(t *testing.T) {
 	analysistest.Run(t, hooklint.Analyzer, "server2")
 }
+
+func TestHooklintSimProbeSeam(t *testing.T) {
+	analysistest.Run(t, hooklint.Analyzer, "sim")
+}

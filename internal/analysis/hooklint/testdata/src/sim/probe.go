@@ -1,0 +1,45 @@
+// Package sim is a hooklint fixture for the engine's Probe seam: the
+// per-dispatch observation hook fires on every event, so unguarded
+// calls are both a panic hazard and a hot-path cost.
+package sim
+
+// Probe observes every event dispatch; hooklint keys on the name.
+type Probe interface {
+	OnStep(now, at int64, seq uint64)
+}
+
+// Engine carries an optional probe, nil when observation is off.
+type Engine struct {
+	probe Probe
+	now   int64
+}
+
+// StepUnguarded dispatches without checking the probe.
+func (e *Engine) StepUnguarded(at int64, seq uint64) {
+	e.probe.OnStep(e.now, at, seq) // want `call to e\.probe\.OnStep through hook interface Probe`
+}
+
+// Step uses the canonical seam shape from internal/sim.Engine.Step.
+func (e *Engine) Step(at int64, seq uint64) {
+	if e.probe != nil {
+		e.probe.OnStep(e.now, at, seq)
+	}
+}
+
+// Drain guards once with an early return and dispatches in a loop.
+func (e *Engine) Drain(n int, seq uint64) {
+	if e.probe == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		e.probe.OnStep(e.now, int64(i), seq)
+	}
+}
+
+// WrongBranch calls inside the nil branch: the check exists but does
+// not establish non-nilness.
+func (e *Engine) WrongBranch(at int64, seq uint64) {
+	if e.probe == nil {
+		e.probe.OnStep(e.now, at, seq) // want `without a dominating`
+	}
+}

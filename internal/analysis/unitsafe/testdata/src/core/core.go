@@ -33,13 +33,13 @@ func Mixups(s Sample, elapsedSeconds, totalJ float64) {
 	_ = wrongJ
 	energyJ := powerW * s.Dur // ok: W*Seconds is J
 	_ = energyJ
-	_ = totalJ + 5      // ok: bare constants are wildcards
-	_ = rate + powerW   // ok: override says rate is W
+	_ = totalJ + 5        // ok: bare constants are wildcards
+	_ = rate + powerW     // ok: override says rate is W
 	_ = refTempW + totalJ // ok: refTempW opted out with unit: none
 	_ = distance
 
 	// Named constants are not wildcards: their suffix declares a dimension.
-	_ = BudgetW + totalJ // want `unit mismatch: mixing W and J`
+	_ = BudgetW + totalJ       // want `unit mismatch: mixing W and J`
 	budgetJ := BudgetW * s.Dur // ok: W*Seconds is J
 	_ = budgetJ
 }

@@ -72,6 +72,10 @@ type Node struct {
 	Fac  *core.Facility
 	Gens map[string]*server.LoadGen
 
+	// cores caches the machine's core count for capacity planning, so
+	// plan-only nodes (PlanNode) work without an assembled kernel.
+	cores int
+
 	// ReservedUtil is the utilization fraction standing system services
 	// (e.g. GAE background processing) consume on this node regardless
 	// of dispatched load; capacity planning subtracts it.
@@ -113,12 +117,12 @@ func (n *Node) decay(nowSec float64) {
 // reserved load.
 func (n *Node) estUtil(nowSec float64) float64 {
 	n.decay(nowSec)
-	return n.ReservedUtil + n.loadEWMA/(loadTauSec*float64(n.K.Spec.Cores()))
+	return n.ReservedUtil + n.loadEWMA/(loadTauSec*float64(n.cores))
 }
 
 // NewNode deploys every app on a machine.
 func NewNode(k *kernel.Kernel, fac *core.Facility, apps []*App, deploy func(app *App, k *kernel.Kernel) *server.Deployment) *Node {
-	n := &Node{K: k, Fac: fac, Gens: map[string]*server.LoadGen{}}
+	n := &Node{K: k, Fac: fac, Gens: map[string]*server.LoadGen{}, cores: k.Spec.Cores()}
 	for _, app := range apps {
 		dep := deploy(app, k)
 		n.Gens[app.Name] = server.NewLoadGen(k, fac, dep)
@@ -161,6 +165,13 @@ type Dispatcher struct {
 	strikes  []int
 	probeRng []*sim.Rand
 	inflight map[uint64]*inflightReq
+
+	// record, when set, puts the dispatcher in plan mode (PlanOpenLoop):
+	// every decision is accounted exactly as a live dispatch — the
+	// offered-load estimate and per-app counts feed later picks — but
+	// recorded instead of executed. Mutually exclusive with health
+	// checking, whose failure recovery couples dispatch to node execution.
+	record func(node int, app *App, tag ContainerTag, dropped bool)
 }
 
 // inflightReq is a dispatched-but-unanswered request the dispatcher may
@@ -221,7 +232,7 @@ func (d *Dispatcher) SetRates(rates map[string]float64, rng *sim.Rand) {
 	// demand(a, node) is the fraction of node's cores app a's full volume
 	// would keep busy.
 	demand := func(a *App, node int) float64 {
-		return rates[a.Name] * a.SvcSec[node] / float64(d.Nodes[node].K.Spec.Cores())
+		return rates[a.Name] * a.SvcSec[node] / float64(d.Nodes[node].cores)
 	}
 	switch d.Policy {
 	case SimpleBalance:
@@ -451,6 +462,18 @@ func (d *Dispatcher) Dispatch(app *App) {
 	tag := d.Ledger.Open(app.Name, d.PowerTargets[app.Name], d.Eng.Now())
 	if !ok {
 		d.Ledger.Drop(tag.RequestID, d.Eng.Now())
+		if d.record != nil {
+			d.record(0, app, tag, true)
+		}
+		return
+	}
+	if d.record != nil {
+		// Plan mode: mirror dispatchTo's dispatcher-side accounting —
+		// later picks read the offered-load estimate it maintains — and
+		// record the decision instead of executing it.
+		d.Nodes[node].noteDispatch(d.nowSec(), app.SvcSec[node])
+		d.perApp[node][app.Name]++
+		d.record(node, app, tag, false)
 		return
 	}
 	if d.health != nil {
@@ -544,6 +567,9 @@ func (c *HealthConfig) fill() {
 // starts; with health never enabled the dispatcher behaves exactly as
 // before, including its random-stream consumption.
 func (d *Dispatcher) EnableHealth(cfg HealthConfig, rng *sim.Rand) {
+	if d.record != nil {
+		panic("cluster: health checking cannot be combined with dispatch planning (failure recovery couples dispatch to node execution)")
+	}
 	cfg.fill()
 	d.health = &cfg
 	d.healthy = make([]bool, len(d.Nodes))
@@ -671,9 +697,15 @@ func (d *Dispatcher) RunOpenLoop(rates map[string]float64, until sim.Time, rng *
 
 // ResponseTimes returns mean response time (ms) per app across the cluster.
 func (d *Dispatcher) ResponseTimes() map[string]float64 {
+	return meanResponseMs(d.completed)
+}
+
+// meanResponseMs averages response times (ms) per app over completed
+// requests, folding in the given iteration order.
+func meanResponseMs(completed []CompletedRequest) map[string]float64 {
 	sums := map[string]float64{}
 	counts := map[string]int{}
-	for _, c := range d.completed {
+	for _, c := range completed {
 		if !c.Req.Finished() {
 			continue
 		}

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"powercontainers/internal/sim"
+)
+
+func testPlan(t *testing.T, seed uint64) *DispatchPlan {
+	t.Helper()
+	nodes := []*Node{PlanNode(8, 0.1), PlanNode(4, 0.05), PlanNode(2, 0.0)}
+	apps := []*App{
+		{Name: "alpha", SvcSec: []float64{0.010, 0.015, 0.030}, AffinityRatio: 0.5},
+		{Name: "beta", SvcSec: []float64{0.020, 0.025, 0.040}, AffinityRatio: 0.9},
+	}
+	rates := map[string]float64{"alpha": 120, "beta": 60}
+	return PlanOpenLoop(nodes, apps, WorkloadAware, map[string]float64{"alpha": 2.5},
+		rates, 5*sim.Second, sim.NewRand(seed))
+}
+
+// TestPlanOpenLoopDeterministic pins that planning is a pure function of
+// its inputs: same nodes, apps, rates and seed, same plan — the property
+// the shard execution modes rely on.
+func TestPlanOpenLoopDeterministic(t *testing.T) {
+	a, b := testPlan(t, 7), testPlan(t, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical planning inputs produced different plans")
+	}
+	if c := testPlan(t, 8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans (suspicious)")
+	}
+}
+
+// TestPlanLedgerReplayInvariants checks the properties the merge phase's
+// ledger replay depends on: request ids are assigned sequentially in
+// dispatch order, arrivals are chronological, power targets propagate into
+// the tags, and the per-app counts reconcile with the dispatch list.
+func TestPlanLedgerReplayInvariants(t *testing.T) {
+	plan := testPlan(t, 7)
+	if len(plan.Dispatches) == 0 {
+		t.Fatal("empty plan")
+	}
+	counts := make([]map[string]int, 3)
+	for i := range counts {
+		counts[i] = map[string]int{}
+	}
+	var lastAt sim.Time
+	for i, pd := range plan.Dispatches {
+		if pd.Tag.RequestID != uint64(i+1) {
+			t.Fatalf("dispatch %d has request id %d", i, pd.Tag.RequestID)
+		}
+		if pd.At < lastAt {
+			t.Fatalf("dispatch %d at %d before predecessor at %d", i, pd.At, lastAt)
+		}
+		lastAt = pd.At
+		if pd.App == "alpha" && pd.Tag.PowerTargetW != 2.5 {
+			t.Fatalf("dispatch %d lost its power target: %v", i, pd.Tag.PowerTargetW)
+		}
+		if pd.Dropped {
+			t.Fatalf("dispatch %d dropped with healthy nodes", i)
+		}
+		counts[pd.Node][pd.App]++
+	}
+	if !reflect.DeepEqual(counts, plan.PerApp) {
+		t.Fatalf("per-app counts %v do not reconcile with dispatch list %v", plan.PerApp, counts)
+	}
+}

@@ -259,6 +259,8 @@ func (f *Facility) TotalAccountedEnergyJ() float64 {
 
 // resetBaseline starts a fresh sampling period on a core, charging the
 // maintenance operation that the (re)entry sample performs.
+//
+//pclint:hotpath
 func (f *Facility) resetBaseline(c *cpu.Core) {
 	st := &f.perCore[c.ID]
 	st.last = f.K.ReadCounters(c.ID) // read before charging: the op lands in the new period
@@ -270,7 +272,12 @@ func (f *Facility) resetBaseline(c *cpu.Core) {
 }
 
 // samplePeriod closes the current sampling period on core c, attributing
-// its events and modeled energy to the container bound to task t.
+// its events and modeled energy to the container bound to task t. It is
+// the context-switch sampling sweep: one counter read, one model
+// evaluation and one container charge per period, with every per-period
+// allocation waived explicitly below so hotalloc flags anything new.
+//
+//pclint:hotpath
 func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 	st := &f.perCore[c.ID]
 	now := f.K.Now()
@@ -343,15 +350,15 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 		if t != nil {
 			name = t.Name
 		}
-		cont.addPeriod(name, now, wall, delta, p*seconds, chipP*seconds, p, c.DutyFraction())
+		cont.addPeriod(name, now, wall, delta, p*seconds, chipP*seconds, p, c.DutyFraction()) //pclint:allow hotalloc per-period container history growth, bounded by sample cadence not event count
 		if cont.svc != nil {
 			cont.svc.charge(wall, p*seconds, chipP*seconds)
 		}
 		if f.Audit != nil {
 			f.Audit.OnPeriod(cont, name, st.lastTime, now, p*seconds, chipP*seconds, m.Chip)
 		}
-		f.metrics.AddSpread(st.lastTime, now, m)
-		f.hookAnomaly(c, t, p-chipP)
+		f.metrics.AddSpread(st.lastTime, now, m) //pclint:allow hotalloc 1ms-bucket metric series growth, bounded by elapsed sim time
+		f.hookAnomaly(c, t, p-chipP)             //pclint:allow hotalloc anomaly detector window growth, bounded by sample cadence
 		if fixKind != "" && f.Audit != nil {
 			f.Audit.OnCounterFix(c.ID, fixKind, now)
 		}
@@ -371,19 +378,20 @@ func (f *Facility) samplePeriod(c *cpu.Core, t *kernel.Task) {
 // unwrapDelta repairs a counter delta whose minuend wrapped once: negative
 // components gain the modulus back.
 func unwrapDelta(d cpu.Counters, w float64) cpu.Counters {
-	fix := func(v float64) float64 {
-		if v < 0 {
-			return v + w
-		}
-		return v
-	}
 	return cpu.Counters{
-		Cycles:       fix(d.Cycles),
-		Instructions: fix(d.Instructions),
-		Float:        fix(d.Float),
-		Cache:        fix(d.Cache),
-		Mem:          fix(d.Mem),
+		Cycles:       unwrapOne(d.Cycles, w),
+		Instructions: unwrapOne(d.Instructions, w),
+		Float:        unwrapOne(d.Float, w),
+		Cache:        unwrapOne(d.Cache, w),
+		Mem:          unwrapOne(d.Mem, w),
 	}
+}
+
+func unwrapOne(v, w float64) float64 {
+	if v < 0 {
+		return v + w
+	}
+	return v
 }
 
 // extrapolateDelta reconstructs an unrecoverable period's counter delta
@@ -443,6 +451,8 @@ func (f *Facility) OnInterrupt(c *cpu.Core, t *kernel.Task) {
 
 // OnSwitch implements kernel.Monitor: request context switches sample the
 // outgoing task's counters and apply the incoming request's duty policy.
+//
+//pclint:hotpath
 func (f *Facility) OnSwitch(c *cpu.Core, prev, next *kernel.Task) {
 	if prev != nil {
 		f.samplePeriod(c, prev)

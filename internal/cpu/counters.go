@@ -59,19 +59,20 @@ func (c Counters) Scale(f float64) Counters {
 // sampling period contained fewer events than the calibrated per-operation
 // maintenance cost.
 func (c Counters) ClampNonNegative() Counters {
-	f := func(x float64) float64 {
-		if x < 0 {
-			return 0
-		}
-		return x
-	}
 	return Counters{
-		Cycles:       f(c.Cycles),
-		Instructions: f(c.Instructions),
-		Float:        f(c.Float),
-		Cache:        f(c.Cache),
-		Mem:          f(c.Mem),
+		Cycles:       clampNonNeg(c.Cycles),
+		Instructions: clampNonNeg(c.Instructions),
+		Float:        clampNonNeg(c.Float),
+		Cache:        clampNonNeg(c.Cache),
+		Mem:          clampNonNeg(c.Mem),
 	}
+}
+
+func clampNonNeg(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 func (c Counters) String() string {

@@ -58,6 +58,19 @@ type Kernel struct {
 	nextPID  int
 	tasks    []*Task
 
+	// segEnd holds one pre-built segment-end callback per core, so the
+	// scheduler's hottest path (runCore arming the next execution
+	// segment) schedules timers without allocating a closure per
+	// segment.
+	segEnd []func()
+
+	// maintEv/maintJoules memoize ChargeMaintenance's model evaluation:
+	// the facility charges the same constant per-operation event vector
+	// on every sample, so the observer energy is a per-core constant
+	// that only needs recomputing if the event vector changes.
+	maintEv     cpu.Counters
+	maintJoules []float64 // per core; 0 means not yet computed
+
 	// ContextSwitches counts scheduler-level task switches, for
 	// overhead reporting.
 	ContextSwitches uint64
@@ -94,6 +107,12 @@ func New(name string, spec cpu.MachineSpec, profile power.TrueProfile, eng *sim.
 	for i := 0; i < spec.Cores(); i++ {
 		k.Cores = append(k.Cores, cpu.NewCore(i, spec))
 	}
+	k.segEnd = make([]func(), spec.Cores())
+	for c := range k.segEnd {
+		c := c
+		k.segEnd[c] = func() { k.onSegmentEnd(c) }
+	}
+	k.maintJoules = make([]float64, spec.Cores())
 	return k, nil
 }
 
@@ -278,9 +297,11 @@ func (k *Kernel) pickNext(c int) *Task {
 }
 
 // enterCore installs t on an idle core.
+//
+//pclint:hotpath
 func (k *Kernel) enterCore(c int, t *Task) {
 	if k.running[c] != nil {
-		panic(fmt.Sprintf("kernel: enterCore on busy core %d", c))
+		panic(fmt.Sprintf("kernel: enterCore on busy core %d", c)) //pclint:allow hotalloc panic-path formatting on an invariant violation
 	}
 	k.running[c] = t
 	t.core = c
@@ -295,9 +316,11 @@ func (k *Kernel) enterCore(c int, t *Task) {
 
 // leaveCore removes the running task from its core; state must be set by
 // the caller afterwards (blocked/zombie/ready).
+//
+//pclint:hotpath
 func (k *Kernel) leaveCore(c int, t *Task) {
 	if k.running[c] != t {
-		panic(fmt.Sprintf("kernel: leaveCore mismatch on core %d", c))
+		panic(fmt.Sprintf("kernel: leaveCore mismatch on core %d", c)) //pclint:allow hotalloc panic-path formatting on an invariant violation
 	}
 	k.Monitor.OnSwitch(k.Cores[c], t, nil)
 	k.running[c] = nil
@@ -345,7 +368,7 @@ func (k *Kernel) runCore(c int) {
 		}
 		k.segStart[c] = k.Now()
 		k.segBusy[c] = true
-		k.Eng.After(d, func() { k.onSegmentEnd(c) })
+		k.Eng.After(d, k.segEnd[c])
 		return
 	}
 }
@@ -472,7 +495,10 @@ func (k *Kernel) advanceProgram(c int, t *Task) {
 
 		case OpSleep:
 			k.block(c, t)
-			k.Eng.After(op.D, func() { k.wake(t) })
+			if t.wakeFn == nil {
+				t.wakeFn = func() { k.wake(t) }
+			}
+			k.Eng.After(op.D, t.wakeFn)
 			return
 
 		case OpDisk:
@@ -617,11 +643,20 @@ func (k *Kernel) exitTask(c int, t *Task) {
 // ChargeMaintenance models the observer effect of one facility maintenance
 // operation: the given events are injected into the core's counters and the
 // corresponding true energy is charged to the package. The facility calls
-// this for every sampling operation it performs.
+// this for every sampling operation it performs — once per context switch
+// and once per overflow interrupt — with a constant event vector, so the
+// model evaluation is memoized per core and the steady-state cost is one
+// counter add plus one recorder charge.
+//
+//pclint:hotpath
 func (k *Kernel) ChargeMaintenance(core int, ev cpu.Counters) {
 	cc := k.Cores[core]
 	cc.AddEvents(ev)
 	if ev.Cycles <= 0 {
+		return
+	}
+	if ev == k.maintEv && k.maintJoules[core] > 0 {
+		k.Rec.AddObserverEnergy(k.Now(), k.maintJoules[core])
 		return
 	}
 	act := cpu.Activity{
@@ -632,5 +667,13 @@ func (k *Kernel) ChargeMaintenance(core int, ev cpu.Counters) {
 	}
 	watts := k.Rec.Profile().CorePowerW(act, 1.0)
 	seconds := ev.Cycles / cc.FreqHz
-	k.Rec.AddObserverEnergy(k.Now(), watts*seconds)
+	joules := watts * seconds
+	if ev != k.maintEv {
+		k.maintEv = ev
+		for i := range k.maintJoules {
+			k.maintJoules[i] = 0
+		}
+	}
+	k.maintJoules[core] = joules
+	k.Rec.AddObserverEnergy(k.Now(), joules)
 }

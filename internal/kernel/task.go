@@ -107,6 +107,7 @@ type Task struct {
 	effAct       cpu.Activity
 	sliceExpiry  sim.Time
 	pendingWake  func() // deferred continuation after a blocking op
+	wakeFn       func() // cached "wake this task" timer callback (OpSleep)
 	parent       *Task
 	liveChildren int
 	zombies      []*Task

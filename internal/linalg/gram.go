@@ -23,6 +23,15 @@ type Gram struct {
 	n   int
 	xtx [][]float64 // upper triangle maintained; mirrored on Solve
 	xty []float64
+
+	// Solve scratch, lazily built and reused across calls: the streaming
+	// engine refits every tick, and a fresh dense mirror per solve was a
+	// measurable share of its steady-state allocations. Solve clobbers
+	// the scratch and returns a freshly allocated solution, so nothing
+	// the caller retains aliases it.
+	scratchM    [][]float64
+	scratchBack []float64
+	scratchB    []float64
 }
 
 // NewGram returns an empty accumulator for k-feature rows.
@@ -169,11 +178,20 @@ func (g *Gram) Subset(cols []int) *Gram {
 	return out
 }
 
-// dense returns the mirrored full normal matrix as a fresh allocation.
+// dense fills the reusable scratch with the mirrored full normal matrix.
+// Each call refreshes the scratch from the accumulators, so clobbering by
+// a previous Solve does not leak into the next one.
 func (g *Gram) dense() [][]float64 {
-	out := make([][]float64, g.k)
+	if g.scratchM == nil {
+		g.scratchBack = make([]float64, g.k*g.k)
+		g.scratchM = make([][]float64, g.k)
+		for i := range g.scratchM {
+			g.scratchM[i] = g.scratchBack[i*g.k : (i+1)*g.k : (i+1)*g.k]
+		}
+	}
+	out := g.scratchM
 	for i := range out {
-		out[i] = append([]float64(nil), g.xtx[i]...)
+		copy(out[i], g.xtx[i])
 	}
 	for i := 0; i < g.k; i++ {
 		for j := 0; j < i; j++ {
@@ -190,7 +208,7 @@ func (g *Gram) Solve() ([]float64, error) {
 	if g.n == 0 {
 		return nil, errors.New("linalg: no samples")
 	}
-	sol, err := Solve(g.dense(), append([]float64(nil), g.xty...))
+	sol, err := Solve(g.dense(), g.rhs())
 	if err == nil {
 		return sol, nil
 	}
@@ -202,9 +220,19 @@ func (g *Gram) Solve() ([]float64, error) {
 	for i := 0; i < g.k; i++ {
 		reg[i][i] += ridge * (1 + g.xtx[i][i])
 	}
-	sol, err = Solve(reg, append([]float64(nil), g.xty...))
+	sol, err = Solve(reg, g.rhs())
 	if err != nil {
 		return nil, ErrSingular
 	}
 	return sol, nil
+}
+
+// rhs copies the accumulated XᵀY into the reusable right-hand-side
+// scratch (Solve clobbers its b argument).
+func (g *Gram) rhs() []float64 {
+	if g.scratchB == nil {
+		g.scratchB = make([]float64, g.k)
+	}
+	copy(g.scratchB, g.xty)
+	return g.scratchB
 }

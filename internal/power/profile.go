@@ -59,7 +59,7 @@ type TrueProfile struct {
 // paper's observation in §3.4.
 func (p TrueProfile) CorePowerW(act cpu.Activity, duty float64) float64 {
 	if duty < 0 || duty > 1 {
-		panic(fmt.Sprintf("power: duty fraction %g out of range", duty))
+		panic(fmt.Sprintf("power: duty fraction %g out of range", duty)) //pclint:allow hotalloc panic-path formatting on an invariant violation
 	}
 	linear := p.CoreW +
 		p.InsW*act.IPC +

@@ -38,8 +38,12 @@ type Recorder struct {
 	pkgActive *stats.Series // joules per bucket: cores + chip maintenance
 	device    *stats.Series // joules per bucket: disk + net
 
-	chipBusy  []int    // currently busy core count per chip
-	maintUpTo sim.Time // maintenance integrated up to this instant
+	chipBusy []int // currently busy core count per chip
+	// activeChips counts chips with at least one busy core, maintained
+	// incrementally at busy transitions so FlushUntil — called on every
+	// context switch — does not rescan chipBusy.
+	activeChips int
+	maintUpTo   sim.Time // maintenance integrated up to this instant
 }
 
 // NewRecorder returns a recorder for the given machine.
@@ -62,6 +66,8 @@ func (r *Recorder) Profile() TrueProfile { return r.profile }
 
 // AddCoreSegment integrates the actual energy of one core running a task
 // over [t0, t1) with the given on-machine activity and duty fraction.
+//
+//pclint:hotpath
 func (r *Recorder) AddCoreSegment(t0, t1 sim.Time, act cpu.Activity, duty float64) {
 	if t1 <= t0 {
 		return
@@ -71,12 +77,14 @@ func (r *Recorder) AddCoreSegment(t0, t1 sim.Time, act cpu.Activity, duty float6
 	if r.Audit != nil {
 		r.Audit.OnRecord("core", t0, t1, joules)
 	}
-	r.pkgActive.AddSpread(t0, t1, joules)
+	r.pkgActive.AddSpread(t0, t1, joules) //pclint:allow hotalloc 1ms-bucket series growth is bounded by elapsed sim time, not event count
 }
 
 // AddObserverEnergy charges the energy of facility maintenance operations
 // themselves (the observer effect) at time t. The paper estimates ~10 µJ
 // per maintenance operation on SandyBridge (§3.5).
+//
+//pclint:hotpath
 func (r *Recorder) AddObserverEnergy(t sim.Time, joules float64) {
 	if joules <= 0 {
 		return
@@ -84,43 +92,52 @@ func (r *Recorder) AddObserverEnergy(t sim.Time, joules float64) {
 	if r.Audit != nil {
 		r.Audit.OnRecord("observer", t, t, joules)
 	}
-	r.pkgActive.Add(t, joules)
+	r.pkgActive.Add(t, joules) //pclint:allow hotalloc 1ms-bucket series growth is bounded by elapsed sim time, not event count
 }
 
 // SetChipBusyCores integrates maintenance power up to now and records the
 // new busy-core count of a chip. Maintenance power is drawn at the full
 // ChipMaintW whenever at least one core of the chip is running — the
 // non-proportional component Figure 1 exposes.
+//
+//pclint:hotpath
 func (r *Recorder) SetChipBusyCores(chip int, busy int, now sim.Time) {
 	if chip < 0 || chip >= len(r.chipBusy) {
-		panic(fmt.Sprintf("power: chip %d out of range", chip))
+		panic(fmt.Sprintf("power: chip %d out of range", chip)) //pclint:allow hotalloc panic-path formatting on an invariant violation
 	}
 	if busy < 0 || busy > r.spec.CoresPerChip {
-		panic(fmt.Sprintf("power: chip %d busy count %d out of range", chip, busy))
+		panic(fmt.Sprintf("power: chip %d busy count %d out of range", chip, busy)) //pclint:allow hotalloc panic-path formatting on an invariant violation
 	}
+	// Flush with the old busy set first: the transition takes effect at
+	// now, so energy up to now is drawn at the previous active count.
 	r.FlushUntil(now)
+	if (busy > 0) != (r.chipBusy[chip] > 0) {
+		if busy > 0 {
+			r.activeChips++
+		} else {
+			r.activeChips--
+		}
+	}
 	r.chipBusy[chip] = busy
 }
 
 // FlushUntil integrates chip maintenance energy up to now. The kernel calls
-// it before any read of the series and at every busy-transition.
+// it before any read of the series and at every busy-transition; the
+// incrementally maintained active-chip count makes it O(1) outside the
+// series write itself.
+//
+//pclint:hotpath
 func (r *Recorder) FlushUntil(now sim.Time) {
 	if now <= r.maintUpTo {
 		return
 	}
-	var activeChips int
-	for _, n := range r.chipBusy {
-		if n > 0 {
-			activeChips++
-		}
-	}
-	if activeChips > 0 {
-		watts := float64(activeChips) * r.profile.ChipMaintW
+	if r.activeChips > 0 {
+		watts := float64(r.activeChips) * r.profile.ChipMaintW
 		joules := watts * float64(now-r.maintUpTo) / float64(sim.Second)
 		if r.Audit != nil {
 			r.Audit.OnRecord("maint", r.maintUpTo, now, joules)
 		}
-		r.pkgActive.AddSpread(r.maintUpTo, now, joules)
+		r.pkgActive.AddSpread(r.maintUpTo, now, joules) //pclint:allow hotalloc 1ms-bucket series growth is bounded by elapsed sim time, not event count
 	}
 	r.maintUpTo = now
 }

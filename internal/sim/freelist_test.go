@@ -2,9 +2,9 @@ package sim
 
 import "testing"
 
-// TestEventRecyclingKeepsOrdering schedules-and-drains repeatedly so retired
-// event structs are reused, and checks dispatch order stays correct.
-func TestEventRecyclingKeepsOrdering(t *testing.T) {
+// TestSlotRecyclingKeepsOrdering schedules-and-drains repeatedly so retired
+// arena slots are reused, and checks dispatch order stays correct.
+func TestSlotRecyclingKeepsOrdering(t *testing.T) {
 	e := NewEngine()
 	var got []int
 	for round := 0; round < 5; round++ {
@@ -23,10 +23,10 @@ func TestEventRecyclingKeepsOrdering(t *testing.T) {
 	}
 }
 
-// TestEventStructsAreRecycled pins the free-list optimisation itself: after
-// a schedule/drain cycle, scheduling again must not allocate a fresh event
-// per call.
-func TestEventStructsAreRecycled(t *testing.T) {
+// TestSteadyStateScheduleIsAllocFree pins the arena optimisation itself:
+// once the arena and heap have grown to the working set, scheduling,
+// cancelling and stepping must not allocate at all.
+func TestSteadyStateScheduleIsAllocFree(t *testing.T) {
 	e := NewEngine()
 	for i := 0; i < 100; i++ {
 		e.After(Time(i)*Microsecond, func() {})
@@ -37,24 +37,37 @@ func TestEventStructsAreRecycled(t *testing.T) {
 		e.Cancel(h)
 	})
 	if allocs != 0 {
-		t.Fatalf("schedule/cancel allocates %.1f objects per run with a warm free list", allocs)
+		t.Fatalf("schedule/cancel allocates %.1f objects per run with a warm arena", allocs)
+	}
+	// Self-rescheduling churn (the shape of every kernel timer) must also
+	// be alloc-free: the callback closure is created once, outside the
+	// measured region.
+	var fn func()
+	fn = func() { e.After(Microsecond, fn) }
+	e.After(Microsecond, fn)
+	allocs = testing.AllocsPerRun(100, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("steady-state step/reschedule allocates %.1f objects per run", allocs)
 	}
 }
 
-// TestStaleHandleCannotCancelRecycledEvent is the bug the generation counter
-// prevents: a Handle kept after its event fired must not cancel the event
-// struct's next occupant.
-func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
+// TestStaleHandleCannotCancelRecycledSlot is the bug the generation counter
+// prevents: a Handle kept after its event fired must not cancel the arena
+// slot's next occupant.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
 	e := NewEngine()
 	stale := e.After(Millisecond, func() {})
-	e.Run() // fires; the struct goes to the free list
+	e.Run() // fires; the slot goes to the free stack
 
 	ran := false
 	fresh := e.After(Millisecond, func() { ran = true })
-	if fresh.ev != stale.ev {
-		// The free list should have recycled the struct; if allocation
+	if fresh.slot1 != stale.slot1 {
+		// The free stack should have recycled the slot; if allocation
 		// behavior ever changes this test loses its bite, so fail loudly.
-		t.Fatalf("free list did not recycle the event struct")
+		t.Fatalf("free stack did not recycle the arena slot")
+	}
+	if fresh.gen == stale.gen {
+		t.Fatalf("recycled slot kept generation %d", fresh.gen)
 	}
 	e.Cancel(stale) // must be a no-op: stale generation
 	e.Run()
@@ -75,17 +88,93 @@ func TestStaleHandleCannotCancelRecycledEvent(t *testing.T) {
 	}
 }
 
-// TestCancelledEventIsRecycled checks Cancel also feeds the free list.
-func TestCancelledEventIsRecycled(t *testing.T) {
+// TestCancelledSlotIsRecycled checks Cancel also feeds the free stack.
+func TestCancelledSlotIsRecycled(t *testing.T) {
 	e := NewEngine()
 	h := e.After(Millisecond, func() {})
 	e.Cancel(h)
 	if len(e.free) != 1 {
-		t.Fatalf("free list has %d entries after cancel, want 1", len(e.free))
+		t.Fatalf("free stack has %d entries after cancel, want 1", len(e.free))
 	}
 	// Double-cancel must not double-free.
 	e.Cancel(h)
 	if len(e.free) != 1 {
-		t.Fatalf("free list has %d entries after double cancel, want 1", len(e.free))
+		t.Fatalf("free stack has %d entries after double cancel, want 1", len(e.free))
+	}
+}
+
+// TestZeroHandleIsInert makes sure the zero Handle can never cancel
+// whatever currently occupies arena slot 0.
+func TestZeroHandleIsInert(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(Millisecond, func() { ran = true })
+	e.Cancel(Handle{})
+	e.Run()
+	if !ran {
+		t.Fatal("zero Handle cancelled slot 0's occupant")
+	}
+}
+
+// TestHeapInvariantAfterCancel removes events from the middle of a large
+// heap and checks the pos column stays consistent with the heap slice.
+func TestHeapInvariantAfterCancel(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(5)
+	handles := make([]Handle, 0, 512)
+	for i := 0; i < 512; i++ {
+		handles = append(handles, e.At(Time(r.Intn(64))*Microsecond, func() {}))
+	}
+	for _, i := range r.Perm(len(handles))[:256] {
+		e.Cancel(handles[i])
+	}
+	checkHeapInvariant(t, e)
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("%d events still pending", e.Pending())
+	}
+}
+
+// checkHeapInvariant verifies the far-future heap ordering, the wheel
+// occupancy bitmaps, the sortedness of the dispatch run, and that the
+// live/dead counters match the queued entries.
+func checkHeapInvariant(t *testing.T, e *Engine) {
+	t.Helper()
+	live, dead := 0, 0
+	count := func(ent heapEntry) {
+		if e.gen[ent.slot] == ent.gen {
+			live++
+		} else {
+			dead++
+		}
+	}
+	for i := range e.heap {
+		count(e.heap[i])
+		if i > 0 {
+			parent := (i - 1) / heapArity
+			if entryLess(e.heap[i], e.heap[parent]) {
+				t.Fatalf("heap invariant violated at index %d (parent %d)", i, parent)
+			}
+		}
+	}
+	for i := e.bottomIdx; i < len(e.bottom); i++ {
+		count(e.bottom[i])
+		if i > e.bottomIdx && !entryLess(e.bottom[i-1], e.bottom[i]) {
+			t.Fatalf("dispatch run out of order at index %d", i)
+		}
+	}
+	for k := range e.lvl {
+		for j := range e.lvl[k] {
+			occupied := e.occ[k]&(1<<uint(j)) != 0
+			if occupied != (len(e.lvl[k][j]) > 0) {
+				t.Fatalf("occupancy bit (%d,%d)=%v but bucket has %d entries", k, j, occupied, len(e.lvl[k][j]))
+			}
+			for _, ent := range e.lvl[k][j] {
+				count(ent)
+			}
+		}
+	}
+	if live != e.live || dead != e.dead {
+		t.Fatalf("counters live=%d dead=%d, but queues hold live=%d dead=%d", e.live, e.dead, live, dead)
 	}
 }

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// This file preserves the classic container/heap event queue as a
+// reference implementation. The arena engine in clock.go must dispatch
+// events in exactly the same (at, seq) order; the property and fuzz
+// tests in equiv_test.go drive both engines with identical operation
+// sequences and require bit-identical dispatch streams, and the engine
+// benchmark reports the arena's speedup over this path.
+//
+// The reference engine is the pre-arena design: one heap-managed
+// *refEvent allocation per scheduled event, with ordering and
+// cancellation semantics identical to Engine. It is deliberately not on
+// any hot path and carries no //pclint:hotpath marks.
+
+// refEvent is a scheduled callback in the reference engine.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+	// index in the heap, maintained by heap.Interface methods; -1 when
+	// removed. Needed for cancellation.
+	index int
+}
+
+// refHandle identifies a scheduled reference-engine event for Cancel.
+// Events are not recycled, so a handle to a fired or cancelled event is
+// permanently inert.
+type refHandle struct {
+	ev *refEvent
+}
+
+func (h refHandle) live() bool { return h.ev != nil && h.ev.index >= 0 }
+
+type refEventHeap []*refEvent
+
+func (h refEventHeap) Len() int { return len(h) }
+func (h refEventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refEventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *refEventHeap) Push(x any) {
+	ev := x.(*refEvent)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *refEventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// refEngine is the reference discrete-event driver. Its public surface
+// mirrors Engine method-for-method so tests can drive both generically.
+type refEngine struct {
+	now   Time
+	heap  refEventHeap
+	seq   uint64
+	probe Probe
+}
+
+func newRefEngine() *refEngine { return &refEngine{} }
+
+func (e *refEngine) SetProbe(p Probe) { e.probe = p }
+
+func (e *refEngine) Now() Time { return e.now }
+
+func (e *refEngine) At(t Time, fn func()) refHandle {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	e.seq++
+	ev := &refEvent{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.heap, ev)
+	return refHandle{ev: ev}
+}
+
+func (e *refEngine) After(d Time, fn func()) refHandle {
+	return e.At(e.now+d, fn)
+}
+
+func (e *refEngine) Cancel(h refHandle) {
+	if !h.live() {
+		return
+	}
+	heap.Remove(&e.heap, h.ev.index)
+	h.ev.index = -1
+	h.ev.fn = nil
+}
+
+func (e *refEngine) Pending() int { return len(e.heap) }
+
+func (e *refEngine) NextEventAt() (Time, bool) {
+	if len(e.heap) == 0 {
+		return 0, false
+	}
+	return e.heap[0].at, true
+}
+
+func (e *refEngine) Step() bool {
+	if len(e.heap) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.heap).(*refEvent)
+	if e.probe != nil {
+		e.probe.OnStep(e.now, ev.at, ev.seq)
+	}
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	if fn != nil {
+		fn()
+	}
+	return true
+}
+
+func (e *refEngine) RunUntil(t Time) {
+	for len(e.heap) > 0 && e.heap[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+func (e *refEngine) Run() {
+	for e.Step() {
+	}
+}
