@@ -137,6 +137,10 @@ type Auditor struct {
 	checkpoints     int
 	checkpointBytes int
 
+	// durability recovery bookkeeping
+	walTruncates int
+	recoveries   []string
+
 	// cluster ledger per-request lifecycle
 	reqs map[uint64]*reqState
 

@@ -27,6 +27,32 @@ func (a *Auditor) OnStreamViolation(check string, t sim.Time, detail string) {
 	a.report(check, t, "%s", detail)
 }
 
+// The auditor also plugs into the durable store's recovery seam: tail
+// repairs and restart decisions are bookkept (they are legitimate
+// recovery actions, not violations), so a supervised run's crash history
+// is inspectable next to its conservation results.
+var _ stream.StoreAuditSink = (*Auditor)(nil)
+
+// OnWALTruncate implements stream.StoreAuditSink: recovery discarded a
+// torn WAL tail. Counted, not judged — the torn-tail repair is the
+// durability contract working as designed.
+func (a *Auditor) OnWALTruncate(path string, off, lost int64, reason string) {
+	a.walTruncates++
+}
+
+// OnRecovery implements stream.StoreAuditSink: one durable-store open
+// completed with the given resume decision.
+func (a *Auditor) OnRecovery(mode string, lastSeq int64, cpTick int, detail string) {
+	a.recoveries = append(a.recoveries, mode)
+}
+
+// WALTruncates returns how many torn-tail repairs recovery performed.
+func (a *Auditor) WALTruncates() int { return a.walTruncates }
+
+// Recoveries returns the resume modes of every durable-store open, in
+// order ("fresh", "checkpoint", or "scratch").
+func (a *Auditor) Recoveries() []string { return append([]string(nil), a.recoveries...) }
+
 // Checkpoints returns how many stream checkpoints the engine reported.
 func (a *Auditor) Checkpoints() int { return a.checkpoints }
 

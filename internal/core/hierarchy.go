@@ -323,6 +323,11 @@ type TenantSnapshot struct {
 type HierarchySnapshot struct {
 	Version int              `json:"version"`
 	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+	// Checksum is the CRC32C (hex) of the snapshot's canonical encoding
+	// with this field empty, set by persistent stores on Save and
+	// verified on Load. Empty means a legacy store written before
+	// checksums existed, which loads without verification.
+	Checksum string `json:"checksum,omitempty"`
 }
 
 // Snapshot captures the hierarchy's structure, budgets, and canonical

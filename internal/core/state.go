@@ -1,11 +1,20 @@
 package core
 
 import (
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+	"hash/crc32"
+	"io/fs"
+
+	"powercontainers/internal/durable"
 )
+
+// ErrCorruptState marks a persisted hierarchy store whose checksum does
+// not cover its contents: damage, not a version skew or a torn write
+// (torn writes fail JSON decoding; version skews have their own error).
+var ErrCorruptState = errors.New("core: hierarchy state corrupt")
 
 // HierarchyState is the persistence seam for hierarchy configuration and
 // roll-up snapshots. Two backends implement it, the dual-store shape
@@ -50,44 +59,59 @@ func (m *MemoryState) Load() (HierarchySnapshot, bool, error) {
 	return copySnapshot(m.snap), true, nil
 }
 
-// JSONState is the persistent backend: one versioned JSON document at
-// Path. Writes go through a temporary file in the same directory followed
-// by a rename, so a crash mid-save never leaves a torn store behind.
+// JSONState is the persistent backend: one versioned, checksummed JSON
+// document at Path. Writes go through internal/durable's full
+// fsync-before-rename discipline (temp file, fsync, atomic rename,
+// directory fsync), so a crash mid-save never leaves a torn or
+// half-durable store behind; the embedded CRC32C catches bit rot that
+// atomicity cannot.
 type JSONState struct {
 	Path string
+	// FS is the filesystem seam (default the real filesystem); crash
+	// tests inject durable.MemFS here.
+	FS durable.FS
 }
 
 // NewJSONState creates a file-backed store at path (the file itself is
 // created on first Save).
 func NewJSONState(path string) *JSONState { return &JSONState{Path: path} }
 
+func (j *JSONState) fs() durable.FS {
+	if j.FS != nil {
+		return j.FS
+	}
+	return durable.OSFS{}
+}
+
+// snapshotChecksum computes the CRC32C (hex) of the snapshot's canonical
+// compact encoding with the checksum field cleared. snap is a value, so
+// clearing the field never touches the caller's copy.
+func snapshotChecksum(snap HierarchySnapshot) (string, error) {
+	snap.Checksum = ""
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return "", fmt.Errorf("core: encode hierarchy state: %w", err)
+	}
+	sum := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+	return hex.EncodeToString([]byte{byte(sum >> 24), byte(sum >> 16), byte(sum >> 8), byte(sum)}), nil
+}
+
 // Save implements HierarchyState.
 func (j *JSONState) Save(snap HierarchySnapshot) error {
 	if err := checkSnapshotVersion(snap); err != nil {
 		return err
 	}
+	sum, err := snapshotChecksum(snap)
+	if err != nil {
+		return err
+	}
+	snap.Checksum = sum
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return fmt.Errorf("core: encode hierarchy state: %w", err)
 	}
 	data = append(data, '\n')
-	dir := filepath.Dir(j.Path)
-	tmp, err := os.CreateTemp(dir, ".hierarchy-*.json")
-	if err != nil {
-		return fmt.Errorf("core: write hierarchy state: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("core: write hierarchy state: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("core: write hierarchy state: %w", err)
-	}
-	if err := os.Rename(tmpName, j.Path); err != nil {
-		os.Remove(tmpName)
+	if err := durable.WriteFileAtomic(j.fs(), j.Path, data); err != nil {
 		return fmt.Errorf("core: write hierarchy state: %w", err)
 	}
 	return nil
@@ -95,8 +119,8 @@ func (j *JSONState) Save(snap HierarchySnapshot) error {
 
 // Load implements HierarchyState.
 func (j *JSONState) Load() (HierarchySnapshot, bool, error) {
-	data, err := os.ReadFile(j.Path)
-	if os.IsNotExist(err) {
+	data, err := j.fs().ReadFile(j.Path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return HierarchySnapshot{Version: SnapshotVersion}, false, nil
 	}
 	if err != nil {
@@ -109,6 +133,16 @@ func (j *JSONState) Load() (HierarchySnapshot, bool, error) {
 	if err := checkSnapshotVersion(snap); err != nil {
 		return HierarchySnapshot{}, false, fmt.Errorf("core: %s: %w", j.Path, err)
 	}
+	if snap.Checksum != "" {
+		want, err := snapshotChecksum(snap)
+		if err != nil {
+			return HierarchySnapshot{}, false, err
+		}
+		if snap.Checksum != want {
+			return HierarchySnapshot{}, false, fmt.Errorf("%w: %s: checksum %s, contents hash to %s", ErrCorruptState, j.Path, snap.Checksum, want)
+		}
+	}
+	snap.Checksum = ""
 	return snap, true, nil
 }
 

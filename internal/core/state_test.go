@@ -1,10 +1,14 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"powercontainers/internal/durable"
 )
 
 func sampleSnapshot() HierarchySnapshot {
@@ -70,7 +74,7 @@ func TestJSONStateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range entries {
-		if strings.HasPrefix(e.Name(), ".hierarchy-") {
+		if strings.HasSuffix(e.Name(), ".tmp") {
 			t.Fatalf("temp file %s left behind", e.Name())
 		}
 	}
@@ -99,5 +103,91 @@ func TestJSONStateRejectsCorruptAndWrongVersion(t *testing.T) {
 	var v0 HierarchySnapshot
 	if err := NewJSONState(filepath.Join(dir, "x.json")).Save(v0); err == nil {
 		t.Fatal("unversioned snapshot saved")
+	}
+}
+
+// TestJSONStateRejectsBitFlip is the checksum half of corruption
+// detection: a store whose JSON still parses but whose bytes were
+// silently flipped must fail with ErrCorruptState — the case the
+// existing torn-store ({nope) test cannot catch.
+func TestJSONStateRejectsBitFlip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hierarchy.json")
+	st := NewJSONState(path)
+	if err := st.Save(sampleSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a digit inside a stored value, keeping the JSON well-formed.
+	idx := strings.Index(string(data), `"requests": 7`)
+	if idx < 0 {
+		t.Fatalf("fixture drifted: %s", data)
+	}
+	data[idx+len(`"requests": `)] = '8'
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); !errors.Is(err, ErrCorruptState) {
+		t.Fatalf("bit-flipped store: %v, want ErrCorruptState", err)
+	}
+
+	// A legacy store with no checksum field still loads.
+	legacy := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"version": 1, "tenants": [{"name": "acme"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok, err := NewJSONState(legacy).Load()
+	if err != nil || !ok || snap.FindTenant("acme") == nil {
+		t.Fatalf("legacy store refused: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestJSONStateSurvivesCrashDuringSave cuts power at every filesystem
+// step of a Save over the in-memory backend: whatever the cut, a
+// subsequent Load sees either the complete old snapshot or the complete
+// new one.
+func TestJSONStateSurvivesCrashDuringSave(t *testing.T) {
+	for keep := 0; keep <= 64; keep += 16 {
+		mem := durable.NewMemFS()
+		st := &JSONState{Path: "state/hierarchy.json", FS: mem}
+		if err := mem.MkdirAll("state"); err != nil {
+			t.Fatal(err)
+		}
+		old := sampleSnapshot()
+		if err := st.Save(old); err != nil {
+			t.Fatal(err)
+		}
+		next := sampleSnapshot()
+		next.FindTenant("acme").Services[0].Requests = 99
+
+		// Begin the replacement write by hand, then cut power before the
+		// temp is synced: keep bytes of it survive as a torn prefix.
+		sum, err := snapshotChecksum(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next.Checksum = sum
+		data, err := json.MarshalIndent(next, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := mem.Create("state/.hierarchy.json.tmp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatal(err)
+		}
+		mem.Crash("state/.hierarchy.json.tmp", keep)
+
+		snap, ok, err := st.Load()
+		if err != nil || !ok {
+			t.Fatalf("keep=%d: old snapshot lost: ok=%v err=%v", keep, ok, err)
+		}
+		if snap.FindTenant("acme").Services[0].Requests != 7 {
+			t.Fatalf("keep=%d: torn save leaked into the store", keep)
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package durable
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"path/filepath"
+)
+
+// blobMagic heads every checked blob: 8-byte magic, 4-byte LE CRC32C of
+// the payload, then the payload. Like WAL frames, the checksum turns
+// both bit rot and a torn temp file into detectable corruption rather
+// than silently wrong state.
+const (
+	blobMagic  = "PCBLOB01"
+	blobHeader = len(blobMagic) + 4
+)
+
+// WriteFileAtomic durably replaces name with data using the full
+// fsync-before-rename discipline: write a temp file in the same
+// directory, fsync it, rename over the target, fsync the directory. A
+// crash at any point leaves either the complete old file or the complete
+// new one — never a prefix of the new contents under the final name.
+func WriteFileAtomic(fsys FS, name string, data []byte) error {
+	tmp := filepath.Join(filepath.Dir(name), "."+filepath.Base(name)+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if err := fsys.Rename(tmp, name); err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(name)); err != nil {
+		return fmt.Errorf("durable: atomic write %s: %w", name, err)
+	}
+	return nil
+}
+
+// WriteChecked atomically writes payload under a CRC32C envelope, so
+// ReadChecked can distinguish a valid blob from any damaged one.
+func WriteChecked(fsys FS, name string, payload []byte) error {
+	buf := make([]byte, blobHeader+len(payload))
+	copy(buf, blobMagic)
+	binary.LittleEndian.PutUint32(buf[len(blobMagic):], crc32.Checksum(payload, castagnoli))
+	copy(buf[blobHeader:], payload)
+	return WriteFileAtomic(fsys, name, buf)
+}
+
+// ReadChecked reads a WriteChecked blob, verifying envelope and checksum.
+// A missing file reports fs.ErrNotExist; any damage — short file, wrong
+// magic, checksum mismatch — reports a CorruptError matching ErrCorrupt.
+func ReadChecked(fsys FS, name string) ([]byte, error) {
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < blobHeader || string(data[:len(blobMagic)]) != blobMagic {
+		return nil, &CorruptError{Path: name, Off: 0, Reason: "missing or torn blob header"}
+	}
+	want := binary.LittleEndian.Uint32(data[len(blobMagic):blobHeader])
+	payload := data[blobHeader:]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, &CorruptError{Path: name, Off: int64(blobHeader), Reason: "blob CRC32C mismatch"}
+	}
+	return payload, nil
+}

@@ -1,0 +1,149 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"testing"
+)
+
+func TestWriteCheckedRoundTrip(t *testing.T) {
+	m := NewMemFS()
+	payload := []byte(`{"version":2,"tick":41}`)
+	if err := WriteChecked(m, "dir/state.bin", payload); err != nil {
+		t.Fatalf("WriteChecked: %v", err)
+	}
+	got, err := ReadChecked(m, "dir/state.bin")
+	if err != nil {
+		t.Fatalf("ReadChecked: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("ReadChecked = %q, want %q", got, payload)
+	}
+	// The temp file must not linger.
+	if m.Size("dir/.state.bin.tmp") != 0 {
+		t.Fatalf("temp file left behind")
+	}
+}
+
+func TestReadCheckedMissingFile(t *testing.T) {
+	m := NewMemFS()
+	_, err := ReadChecked(m, "absent")
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadChecked(absent) = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestReadCheckedRejectsDamage(t *testing.T) {
+	m := NewMemFS()
+	if err := WriteChecked(m, "blob", []byte("payload-bytes")); err != nil {
+		t.Fatalf("WriteChecked: %v", err)
+	}
+	// Bit-flip every byte position in turn: header, checksum, and payload
+	// damage must all surface as ErrCorrupt.
+	n := m.Size("blob")
+	for off := int64(0); off < n; off++ {
+		if err := m.Corrupt("blob", off, 0x10); err != nil {
+			t.Fatalf("Corrupt: %v", err)
+		}
+		if _, err := ReadChecked(m, "blob"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("off=%d: ReadChecked = %v, want ErrCorrupt", off, err)
+		}
+		if err := m.Corrupt("blob", off, 0x10); err != nil { // undo
+			t.Fatalf("Corrupt undo: %v", err)
+		}
+	}
+	if _, err := ReadChecked(m, "blob"); err != nil {
+		t.Fatalf("restored blob unreadable: %v", err)
+	}
+}
+
+func TestReadCheckedRejectsTruncation(t *testing.T) {
+	m := NewMemFS()
+	if err := WriteChecked(m, "blob", []byte("some longer payload body")); err != nil {
+		t.Fatalf("WriteChecked: %v", err)
+	}
+	for _, cut := range []int64{0, 3, int64(blobHeader) - 1, int64(blobHeader), m.Size("blob") - 1} {
+		mm := NewMemFS()
+		if err := WriteChecked(mm, "blob", []byte("some longer payload body")); err != nil {
+			t.Fatalf("WriteChecked: %v", err)
+		}
+		if err := mm.Truncate("blob", cut); err != nil {
+			t.Fatalf("Truncate(%d): %v", cut, err)
+		}
+		if _, err := ReadChecked(mm, "blob"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("cut=%d: ReadChecked = %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestWriteFileAtomicSurvivesCrashBeforeRename(t *testing.T) {
+	m := NewMemFS()
+	if err := WriteChecked(m, "state", []byte("old-state")); err != nil {
+		t.Fatalf("WriteChecked: %v", err)
+	}
+	// Start a replacement write but cut power after the temp file's bytes
+	// were written and before rename: temp is unsynced, so at most a torn
+	// prefix survives under the temp name — the target is untouched.
+	w, err := m.Create(".state.tmp")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("new-state-half-written")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m.Crash(".state.tmp", 7)
+	got, err := ReadChecked(m, "state")
+	if err != nil || string(got) != "old-state" {
+		t.Fatalf("after torn temp crash: %q, %v; want intact old state", got, err)
+	}
+}
+
+func TestMemFSRenameCarriesDurabilityMark(t *testing.T) {
+	// Rename an unsynced temp over the target and crash: the torn-temp
+	// hazard must surface, proving the model punishes a skipped fsync.
+	m := NewMemFS()
+	w, err := m.Create("tmp")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("unsynced contents")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := m.Rename("tmp", "target"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	m.Crash("", 0)
+	data, err := m.ReadFile("target")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(data) != 0 {
+		t.Fatalf("unsynced renamed bytes survived a crash: %q", data)
+	}
+}
+
+func TestMemFSCrashKeepsDurablePrefixOnly(t *testing.T) {
+	m := NewMemFS()
+	w, err := m.Create("f")
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if _, err := w.Write([]byte("durable-part")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := w.Write([]byte("-and-unsynced-tail")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	m.Crash("f", 4)
+	data, err := m.ReadFile("f")
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if string(data) != "durable-part-and" {
+		t.Fatalf("crash kept %q, want durable prefix + 4 torn bytes", data)
+	}
+}

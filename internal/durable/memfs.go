@@ -1,0 +1,224 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// memFile is one in-memory file with an explicit durability mark: data is
+// what the running process observes, data[:durable] is what survives a
+// power cut.
+type memFile struct {
+	data    []byte
+	durable int
+}
+
+// MemFS is the deterministic in-memory backend for crash testing. It
+// tracks, per file, both the visible contents and the durable prefix
+// (the bytes covered by the last Sync). Crash reverts every file to its
+// durable prefix — optionally keeping a chosen number of unsynced bytes
+// of one file, the torn-write tail — which lets a test cut power at any
+// byte of any write and then run recovery against exactly the state a
+// real disk could expose.
+//
+// Metadata operations (Create, Rename, Remove, Truncate) are modeled as
+// journaled: they are durable as soon as they return. SyncDir is
+// therefore a no-op. A MemFS is confined to one goroutine at a time, the
+// same discipline as the simulation engine it tests.
+type MemFS struct {
+	files map[string]*memFile
+	dirs  map[string]bool
+
+	// Ops counts completed operations by kind ("create", "write", "sync",
+	// "rename", "remove", "truncate"), the op clock crash plans schedule
+	// against.
+	Ops map[string]int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{}, Ops: map[string]int{}}
+}
+
+func (m *MemFS) bump(op string) { m.Ops[op]++ }
+
+// memWriter appends to one MemFS file.
+type memWriter struct {
+	fs   *MemFS
+	name string
+}
+
+// Write implements File.
+func (w *memWriter) Write(p []byte) (int, error) {
+	f, ok := w.fs.files[w.name]
+	if !ok {
+		return 0, notExist(w.name)
+	}
+	f.data = append(f.data, p...)
+	w.fs.bump("write")
+	return len(p), nil
+}
+
+// Sync implements File: the visible contents become durable.
+func (w *memWriter) Sync() error {
+	f, ok := w.fs.files[w.name]
+	if !ok {
+		return notExist(w.name)
+	}
+	f.durable = len(f.data)
+	w.fs.bump("sync")
+	return nil
+}
+
+// Close implements File.
+func (w *memWriter) Close() error { return nil }
+
+// Create implements FS.
+func (m *MemFS) Create(name string) (File, error) {
+	m.files[name] = &memFile{}
+	m.bump("create")
+	return &memWriter{fs: m, name: name}, nil
+}
+
+// OpenAppend implements FS.
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	if _, ok := m.files[name]; !ok {
+		m.files[name] = &memFile{}
+		m.bump("create")
+	}
+	return &memWriter{fs: m, name: name}, nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	f, ok := m.files[name]
+	if !ok {
+		return nil, notExist(name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Rename implements FS. The rename is atomic and, per the journaled
+// metadata model, immediately durable — but it carries the file's
+// *current* durability mark with it: renaming an unsynced temp file does
+// not make its bytes safe, which is exactly the torn-temp hazard
+// fsync-before-rename discipline exists to close.
+func (m *MemFS) Rename(oldname, newname string) error {
+	f, ok := m.files[oldname]
+	if !ok {
+		return notExist(oldname)
+	}
+	delete(m.files, oldname)
+	m.files[newname] = f
+	m.bump("rename")
+	return nil
+}
+
+// Remove implements FS.
+func (m *MemFS) Remove(name string) error {
+	if _, ok := m.files[name]; !ok {
+		return notExist(name)
+	}
+	delete(m.files, name)
+	m.bump("remove")
+	return nil
+}
+
+// Truncate implements FS.
+func (m *MemFS) Truncate(name string, size int64) error {
+	f, ok := m.files[name]
+	if !ok {
+		return notExist(name)
+	}
+	if size < 0 || size > int64(len(f.data)) {
+		return fmt.Errorf("durable: truncate %s to %d outside [0,%d]", name, size, len(f.data))
+	}
+	f.data = f.data[:size]
+	if f.durable > int(size) {
+		f.durable = int(size)
+	}
+	m.bump("truncate")
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(dir string) ([]string, error) {
+	var names []string
+	for name := range m.files {
+		if filepath.Dir(name) == dir {
+			names = append(names, base(name))
+		}
+	}
+	if len(names) == 0 && !m.dirs[dir] {
+		return nil, notExist(dir)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(dir string) error {
+	m.dirs[dir] = true
+	return nil
+}
+
+// SyncDir implements FS: metadata is journaled, so there is nothing to
+// flush.
+func (m *MemFS) SyncDir(dir string) error { return nil }
+
+// Crash simulates a power cut: every file reverts to its durable prefix.
+// tornFile, when non-empty, names one file that additionally keeps up to
+// keepUnsynced bytes of its unsynced tail — the partial page a dying disk
+// may or may not have flushed. After a crash, whatever survived is by
+// definition on stable storage, so the durable marks are reset to the
+// surviving lengths.
+func (m *MemFS) Crash(tornFile string, keepUnsynced int) {
+	for name, f := range m.files {
+		keepTo := f.durable
+		if name == tornFile && keepUnsynced > 0 {
+			keepTo += keepUnsynced
+			if keepTo > len(f.data) {
+				keepTo = len(f.data)
+			}
+		}
+		f.data = f.data[:keepTo]
+		f.durable = keepTo
+	}
+}
+
+// Corrupt XORs the byte at off in the named file with mask — the bit-flip
+// fault a crashed disk or firmware bug can leave behind. Corruption edits
+// stable storage, so the durable mark is untouched.
+func (m *MemFS) Corrupt(name string, off int64, mask byte) error {
+	f, ok := m.files[name]
+	if !ok {
+		return notExist(name)
+	}
+	if off < 0 || off >= int64(len(f.data)) {
+		return fmt.Errorf("durable: corrupt %s at %d outside [0,%d)", name, off, len(f.data))
+	}
+	f.data[off] ^= mask
+	return nil
+}
+
+// Paths returns every file path in the filesystem, sorted ascending, so
+// crash plans can resolve "the last WAL segment" deterministically.
+func (m *MemFS) Paths() []string {
+	var names []string
+	for name := range m.files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the visible length of the named file (0 if missing).
+func (m *MemFS) Size(name string) int64 {
+	if f, ok := m.files[name]; ok {
+		return int64(len(f.data))
+	}
+	return 0
+}
+
+var _ FS = (*MemFS)(nil)

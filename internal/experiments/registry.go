@@ -114,6 +114,10 @@ func Registry() []Experiment {
 			ID: "tenantmix", Title: "multi-tenant budget enforcement and isolation (hierarchy extension)",
 			Run: func(ex Exec, seed uint64) (Renderable, error) { return TenantMixEx(ex, seed) },
 		},
+		{
+			ID: "crashmatrix", Title: "exact recovery of the durable record stream across injected crash points (durability extension)",
+			Run: func(ex Exec, seed uint64) (Renderable, error) { return CrashMatrixEx(ex, seed) },
+		},
 	}
 }
 

@@ -1,0 +1,250 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"powercontainers/internal/durable"
+)
+
+func TestParseCrashPlanRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"crash:op=sync,index=1",
+		"crash:op=write,match=wal-,index=3,keep=5",
+		"crash:op=rename,match=checkpoint,index=2,at=post",
+		"crash:op=sync,index=1;corrupt:file=.seg,off=-1,mask=64",
+		"corrupt:file=checkpoint,trunc=12",
+		"crash:op=truncate,index=1;corrupt:file=a,mask=1;corrupt:file=b,off=9,mask=128",
+	}
+	for _, spec := range specs {
+		p, err := ParseCrashPlan(spec)
+		if err != nil {
+			t.Fatalf("ParseCrashPlan(%q): %v", spec, err)
+		}
+		canon := p.String()
+		p2, err := ParseCrashPlan(canon)
+		if err != nil {
+			t.Fatalf("reparse %q (from %q): %v", canon, spec, err)
+		}
+		if p2.String() != canon {
+			t.Fatalf("round-trip of %q: %q then %q", spec, canon, p2.String())
+		}
+	}
+}
+
+func TestParseCrashPlanRejects(t *testing.T) {
+	bad := []string{
+		"crash:op=fsync,index=1",                      // unknown op
+		"crash:index=1",                               // missing op
+		"crash:op=sync,index=0",                       // index < 1
+		"crash:op=sync,index=1,keep=-1",               // negative keep
+		"crash:op=sync,index=1,at=during",             // bad phase
+		"crash:op=sync,index=1;crash:op=sync,index=2", // duplicate
+		"corrupt:file=x",                              // neither mask nor trunc
+		"corrupt:file=x,mask=3,trunc=4",               // both modes
+		"corrupt:file=x,mask=0",                       // mask outside 1..255
+		"corrupt:file=x,mask=256",
+		"boom:op=sync", // unknown target
+		"crash:op",     // not key=value
+	}
+	for _, spec := range bad {
+		if _, err := ParseCrashPlan(spec); err == nil {
+			t.Errorf("ParseCrashPlan(%q) accepted, want error", spec)
+		}
+	}
+}
+
+// mustPanicCrash runs fn expecting a Crash panic and returns it.
+func mustPanicCrash(t *testing.T, fn func()) Crash {
+	t.Helper()
+	var got Crash
+	func() {
+		defer func() {
+			r := recover()
+			c, ok := r.(Crash)
+			if !ok {
+				t.Fatalf("expected Crash panic, got %v", r)
+			}
+			got = c
+		}()
+		fn()
+	}()
+	return got
+}
+
+func TestCrashFSWriteTorn(t *testing.T) {
+	m := durable.NewMemFS()
+	plan, err := ParseCrashPlan("crash:op=write,match=log,index=2,keep=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(m, plan)
+	f, err := cfs.Create("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	c := mustPanicCrash(t, func() { f.Write([]byte("second")) })
+	if c.Op != "write" || c.Name != "log" {
+		t.Fatalf("crash = %+v", c)
+	}
+	data, err := m.ReadFile("log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synced prefix plus keep=3 torn bytes of the second write.
+	if string(data) != "firstsec" {
+		t.Fatalf("surviving contents %q, want %q", data, "firstsec")
+	}
+	if !cfs.Fired() {
+		t.Fatal("Fired() = false after crash")
+	}
+}
+
+func TestCrashFSSyncPreAndPost(t *testing.T) {
+	run := func(spec string) string {
+		m := durable.NewMemFS()
+		plan, err := ParseCrashPlan(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfs := NewCrashFS(m, plan)
+		f, err := cfs.Create("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		mustPanicCrash(t, func() { f.Sync() })
+		data, err := m.ReadFile("f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if got := run("crash:op=sync,index=1"); got != "" {
+		t.Fatalf("pre-fsync crash kept %q, want nothing", got)
+	}
+	if got := run("crash:op=sync,index=1,at=post"); got != "payload" {
+		t.Fatalf("post-fsync crash kept %q, want full payload", got)
+	}
+}
+
+func TestCrashFSMidRenameLeavesTemp(t *testing.T) {
+	m := durable.NewMemFS()
+	plan, err := ParseCrashPlan("crash:op=rename,match=target,index=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(m, plan)
+	f, err := cfs.Create(".target.tmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("next")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicCrash(t, func() { cfs.Rename(".target.tmp", "target") })
+	if m.Size("target") != 0 {
+		t.Fatal("rename took effect despite pre crash")
+	}
+	data, err := m.ReadFile(".target.tmp")
+	if err != nil || string(data) != "next" {
+		t.Fatalf("synced temp should survive mid-rename crash: %q, %v", data, err)
+	}
+}
+
+func TestCrashFSAppliesCorruptions(t *testing.T) {
+	m := durable.NewMemFS()
+	plan, err := ParseCrashPlan("crash:op=sync,index=2,at=post;corrupt:file=seg,off=-1,mask=255")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(m, plan)
+	f, err := cfs.Create("dir/a.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicCrash(t, func() { f.Sync() })
+	data, err := m.ReadFile("dir/a.seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != 0xff {
+		t.Fatalf("corruption not applied: % x", data)
+	}
+}
+
+func TestCrashFSFiresOnce(t *testing.T) {
+	m := durable.NewMemFS()
+	plan, err := ParseCrashPlan("crash:op=sync,index=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfs := NewCrashFS(m, plan)
+	f, err := cfs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanicCrash(t, func() { f.Sync() })
+	// Recovery on the same wrapped filesystem must not crash again.
+	f2, err := cfs.Create("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyCorruptionsTargetsLastMatch(t *testing.T) {
+	m := durable.NewMemFS()
+	for _, name := range []string{"wal/wal-00000001.seg", "wal/wal-00000002.seg"} {
+		f, err := m.Create(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte("AB")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := ParseCrashPlan("corrupt:file=.seg,mask=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.ApplyCorruptions(m); err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := m.ReadFile("wal/wal-00000001.seg")
+	d2, _ := m.ReadFile("wal/wal-00000002.seg")
+	if string(d1) != "AB" || string(d2) != "aB" {
+		t.Fatalf("corruption hit wrong file: %q / %q", d1, d2)
+	}
+	// A clause matching nothing is an error, not a silent no-op.
+	miss, err := ParseCrashPlan("corrupt:file=nothing,mask=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := miss.ApplyCorruptions(m); err == nil || !strings.Contains(err.Error(), "matches no file") {
+		t.Fatalf("ApplyCorruptions miss = %v, want matches-no-file error", err)
+	}
+}

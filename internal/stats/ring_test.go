@@ -182,6 +182,98 @@ func TestRingStateRoundTrip(t *testing.T) {
 	}
 }
 
+// TestRingRestoreAfterEvictionContinues drives a snapshotted-and-restored
+// ring and its uninterrupted original through the same order-sensitive
+// tail of appends: the restore must preserve the eviction cursor and the
+// sequential prefix sum bit-for-bit, so every later observation —
+// eviction sums, totals, window reads — stays identical to the ring that
+// never stopped.
+func TestRingRestoreAfterEvictionContinues(t *testing.T) {
+	vals := []float64{1e16, 1, -1e16, 3.25, 1e-3, 7, 1e16, 2, -1e16, 0.125}
+	orig := NewRing(sim.Millisecond, 3)
+	for _, v := range vals[:6] { // lo=3: eviction well under way at the cut
+		orig.Append(v)
+	}
+	rest, err := RestoreRing(orig.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals[6:] {
+		orig.Append(v)
+		rest.Append(v)
+	}
+	if rest.Len() != orig.Len() || rest.Lo() != orig.Lo() {
+		t.Fatalf("restored len/lo = %d/%d, want %d/%d", rest.Len(), rest.Lo(), orig.Len(), orig.Lo())
+	}
+	if rest.EvictedSum() != orig.EvictedSum() || rest.Total() != orig.Total() {
+		t.Fatalf("restored evicted/total = %g/%g, want %g/%g",
+			rest.EvictedSum(), rest.Total(), orig.EvictedSum(), orig.Total())
+	}
+	a, af := orig.ReadSince(0)
+	b, bf := rest.ReadSince(0)
+	if af != bf || len(a) != len(b) {
+		t.Fatalf("ReadSince(0): restored from=%d len=%d, want from=%d len=%d", bf, len(b), af, len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ReadSince(0)[%d] = %v, want %v", i, b[i], a[i])
+		}
+	}
+}
+
+// TestRingRestoreResizedWindow restores one snapshot into larger and
+// exactly-fitting capacities: the retained window, cursor and prefix sum
+// carry over unchanged, a grown window simply defers the next eviction,
+// and a capacity too small for the retained slots is rejected (shrinking
+// would have to silently evict, breaking the sequential-sum contract).
+func TestRingRestoreResizedWindow(t *testing.T) {
+	orig := NewRing(sim.Millisecond, 3)
+	for i := 0; i < 8; i++ { // window [5,8)
+		orig.Append(float64(i) * 1.0625)
+	}
+	st := orig.State()
+
+	grown := st
+	grown.Cap = 5
+	g, err := RestoreRing(grown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cap() != 5 || g.Lo() != orig.Lo() || g.EvictedSum() != orig.EvictedSum() || g.Total() != orig.Total() {
+		t.Fatalf("grown restore: cap=%d lo=%d evicted=%g total=%g", g.Cap(), g.Lo(), g.EvictedSum(), g.Total())
+	}
+	// Two appends fill the spare slots without evicting; the third evicts
+	// slot 5 — the oldest retained slot from before the restore.
+	g.Append(100)
+	g.Append(101)
+	if g.Lo() != 5 {
+		t.Fatalf("grown window evicted early: lo=%d", g.Lo())
+	}
+	g.Append(102)
+	if g.Lo() != 6 {
+		t.Fatalf("grown window did not evict at new capacity: lo=%d", g.Lo())
+	}
+	if want := orig.EvictedSum() + 5*1.0625; g.EvictedSum() != want {
+		t.Fatalf("grown eviction folded %g, want %g", g.EvictedSum(), want)
+	}
+
+	exact := st
+	exact.Cap = len(st.Values)
+	e, err := RestoreRing(exact)
+	if err != nil {
+		t.Fatalf("exact-fit restore rejected: %v", err)
+	}
+	if e.Total() != orig.Total() {
+		t.Fatalf("exact-fit total %g, want %g", e.Total(), orig.Total())
+	}
+
+	shrunk := st
+	shrunk.Cap = len(st.Values) - 1
+	if _, err := RestoreRing(shrunk); err == nil {
+		t.Fatal("restore into a window smaller than the retained slots accepted")
+	}
+}
+
 func TestRestoreRingRejectsBadState(t *testing.T) {
 	bad := []RingState{
 		{Interval: 0, Cap: 1},

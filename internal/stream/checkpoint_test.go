@@ -18,8 +18,25 @@ import (
 // the horizon must reproduce the remaining record stream byte-for-byte —
 // same canonical encodings, same SHA-256.
 func TestCheckpointReplayReproducesStream(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  stream.Config
+		cuts []int
+	}{
+		{"default-window", stream.Config{Tick: 100 * sim.Millisecond}, []int{1, 17, 38}},
+		// Resume around the attributed-ring eviction boundary: with an
+		// 8-tick window, cut 7 checkpoints a not-yet-full ring, cut 8
+		// an exactly-full one (the next append evicts), and cut 9 a
+		// ring whose first slot has been folded into the prefix sum.
+		{"eviction-boundary", stream.Config{Tick: 100 * sim.Millisecond, TickWindow: 8}, []int{7, 8, 9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { testCheckpointReplay(t, tc.cfg, tc.cuts) })
+	}
+}
+
+func testCheckpointReplay(t *testing.T, cfg stream.Config, cuts []int) {
 	const seed = 31
-	cfg := stream.Config{Tick: 100 * sim.Millisecond}
 
 	// Baseline: one uninterrupted streaming run collecting everything.
 	base := deployBed(t, core.ApproachRecalibrated, seed, workload.GAE{}, 0.4)
@@ -31,7 +48,7 @@ func TestCheckpointReplayReproducesStream(t *testing.T) {
 		t.Fatal("baseline emitted no records")
 	}
 
-	for _, cut := range []int{1, 17, 38} {
+	for _, cut := range cuts {
 		// Run a fresh bed to the cut and checkpoint there.
 		bed := deployBed(t, core.ApproachRecalibrated, seed, workload.GAE{}, 0.4)
 		e := stream.New(stream.Sources{Eng: bed.m.Eng, Fac: bed.m.Fac, Meter: bed.m.Chip, Scope: model.ScopePackage}, cfg)

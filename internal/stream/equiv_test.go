@@ -35,7 +35,7 @@ const (
 
 // deployBed replicates experiments.RunOn's deployment sequence (same rng
 // fork points, same load schedule) without executing the run.
-func deployBed(t *testing.T, approach core.Approach, seed uint64, wl workload.Workload, rateFrac float64) testbed {
+func deployBed(t testing.TB, approach core.Approach, seed uint64, wl workload.Workload, rateFrac float64) testbed {
 	t.Helper()
 	m, err := experiments.Assembly{}.NewMachine(cpu.SandyBridge, approach, seed)
 	if err != nil {

@@ -1,21 +1,24 @@
 #!/bin/sh
 # Refreshes BENCH_stream.json: the streaming attribution engine's ingest
 # benchmark — virtual ticks and meter samples consumed per wall second,
-# with per-tick allocation counts. Extra args go to `go test`
-# (e.g. -benchtime=1x for a smoke run, -benchtime=5s for stable numbers).
+# with per-tick allocation counts — plus the durability layer's recovery
+# benchmark (ms to resume from checkpoint + WAL). Extra args go to
+# `go test` (e.g. -benchtime=1x for a smoke run, -benchtime=5s for
+# stable numbers).
 set -e
 cd "$(dirname "$0")/.."
 out="$PWD/BENCH_stream.json"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-go test -run='^$' -bench='^BenchmarkStreamIngest$' \
+go test -run='^$' -bench='^(BenchmarkStreamIngest|BenchmarkStreamRecover)$' \
 	-benchmem "$@" ./internal/stream/ | tee "$tmp"
 
 # Parse `BenchmarkName[-P]  iters  <value unit>...` lines into JSON, the
 # same scheme as bench_numerics.sh: ns/op, B/op, allocs/op plus the
-# benchmark's ReportMetric extras (ticks/sec, samples/sec, samples/tick);
-# GOMAXPROCS suffixes are stripped so names are host-independent.
+# benchmark's ReportMetric extras (ticks/sec, samples/sec, samples/tick,
+# recovery-ms); GOMAXPROCS suffixes are stripped so names are
+# host-independent.
 awk -v cores="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)" '
 /^Benchmark/ {
 	name = $1
